@@ -1,0 +1,26 @@
+"""Paper §IV-B-3 — fixed-point data-type resilience study."""
+
+from benchmarks._common import BENCH_CACHE, BENCH_DRONE_SCALE, save_result
+from repro.core import experiments
+
+
+def test_datatype_study(benchmark):
+    result = benchmark.pedantic(
+        lambda: experiments.datatype_study(
+            scale=BENCH_DRONE_SCALE,
+            ber_values=(0.0, 1e-3, 1e-2),
+            cache=BENCH_CACHE,
+            repeats=2,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    save_result("datatypes", result)
+    assert set(result.series) == {"Q(1,4,11)", "Q(1,7,8)", "Q(1,10,5)"}
+    # All formats agree in the fault-free column (same underlying policy).
+    clean = [series[0] for series in result.series.values()]
+    assert max(clean) - min(clean) < max(clean) * 0.5 + 1e-9
+    # Paper trend: the format that just covers the parameter range (Q(1,4,11))
+    # holds up at least as well as the unnecessarily wide Q(1,10,5) under the
+    # highest BER.
+    assert result.series["Q(1,4,11)"][-1] >= result.series["Q(1,10,5)"][-1] * 0.6

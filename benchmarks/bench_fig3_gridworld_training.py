@@ -1,0 +1,50 @@
+"""Fig. 3a/3b/3c — GridWorld training heatmaps (agent / server / single-agent).
+
+Regenerates the success-rate heatmaps over (BER x fault-injection episode) for
+FRL agent faults, FRL server faults and the single-agent baseline.  The paper
+observations checked here: higher BER degrades success rate, and the no-fault
+row stays near the clean baseline.
+"""
+
+import pytest
+
+from benchmarks._common import (
+    BENCH_GRIDWORLD_SCALE,
+    GRIDWORLD_BERS,
+    GRIDWORLD_EPISODE_FRACTIONS,
+    save_result,
+)
+from repro.analysis import check_heatmap_trend
+from repro.core import experiments
+
+
+def _run(location: str):
+    return experiments.gridworld_training_heatmap(
+        location,
+        scale=BENCH_GRIDWORLD_SCALE,
+        ber_values=GRIDWORLD_BERS,
+        episode_fractions=GRIDWORLD_EPISODE_FRACTIONS,
+    )
+
+
+@pytest.mark.parametrize("location,figure", [("agent", "fig3a"), ("server", "fig3b"),
+                                             ("single", "fig3c")])
+def test_fig3_training_heatmap(benchmark, location, figure):
+    result = benchmark.pedantic(_run, args=(location,), rounds=1, iterations=1)
+    save_result(figure, result)
+    assert result.values.shape == (len(GRIDWORLD_BERS), len(GRIDWORLD_EPISODE_FRACTIONS))
+    trend = check_heatmap_trend(result, tolerance=0.25)
+    save_result(f"{figure}_trend", trend)
+    # The no-fault row must stay reasonably healthy; the highest-BER row may
+    # not exceed it (the paper's headline degradation trend).  The single-agent
+    # baseline learns from a single maze and a much smaller experience budget,
+    # so only a weaker floor is demanded of it — which is itself the paper's
+    # observation that the FRL system outperforms the single-agent system.
+    minimum_baseline = 40.0 if location in ("agent", "server") else 10.0
+    assert result.values[0].mean() >= minimum_baseline
+    # The single-agent panel is reported for completeness but, at a single
+    # repetition with an under-trained baseline, its per-cell values are too
+    # noisy for a strict monotonicity assertion (the FRL-vs-single comparison
+    # is asserted on the inference sweep instead, see bench_fig4).
+    if location in ("agent", "server"):
+        assert trend.holds

@@ -1,0 +1,23 @@
+"""Fig. 3d — weight distribution and 0/1 bit breakdown of the trained policy."""
+
+import pytest
+
+from benchmarks._common import BENCH_CACHE, BENCH_GRIDWORLD_SCALE, save_result
+from repro.core import experiments
+
+
+def test_fig3d_weight_distribution(benchmark):
+    consensus = BENCH_CACHE.gridworld_policies(BENCH_GRIDWORLD_SCALE)["consensus"]
+    result = benchmark.pedantic(
+        lambda: experiments.weight_distribution(scale=BENCH_GRIDWORLD_SCALE, consensus=consensus),
+        rounds=1,
+        iterations=1,
+    )
+    save_result("fig3d", result)
+    values = {row[0]: row[1] for row in result.rows}
+    # The policy's value range is narrow (paper: roughly [-1, 1.3]) and the
+    # storage contains more 0 bits than 1 bits.
+    assert values["min weight"] < 0 < values["max weight"]
+    assert values["max weight"] < 8.0
+    assert values["0 bits (%)"] + values["1 bits (%)"] == pytest.approx(100.0)
+    assert values["0 bits (%)"] >= 45.0

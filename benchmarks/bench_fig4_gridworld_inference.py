@@ -1,0 +1,30 @@
+"""Fig. 4 — GridWorld inference faults: Trans-1 vs Trans-M, multi vs single agent."""
+
+from benchmarks._common import BENCH_CACHE, BENCH_GRIDWORLD_SCALE, save_result
+from repro.analysis import check_series_order
+from repro.core import experiments
+
+
+def test_fig4_inference_sweep(benchmark):
+    result = benchmark.pedantic(
+        lambda: experiments.gridworld_inference_sweep(
+            scale=BENCH_GRIDWORLD_SCALE,
+            ber_values=(0.0, 0.005, 0.01, 0.02),
+            cache=BENCH_CACHE,
+            repeats=2,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    save_result("fig4", result)
+    # Paper observations: a single-step register fault (Trans-1) is nearly
+    # harmless, persistent memory faults degrade with BER, and the FRL policy
+    # tolerates them better than the single-agent policy.
+    trans1 = check_series_order(result, better="Multi-Trans-1", worse="Multi-Trans-M",
+                                name="Trans-1 is more benign than Trans-M")
+    multi_vs_single = check_series_order(result, better="Multi-Trans-M", worse="Single-Trans-M",
+                                         name="multi-agent beats single-agent")
+    save_result("fig4_checks", f"{trans1}\n{multi_vs_single}")
+    assert trans1.holds
+    assert result.series["Multi-Trans-1"][-1] >= result.series["Multi-Trans-M"][-1]
+    assert min(result.series["Multi-Trans-1"]) >= 50.0

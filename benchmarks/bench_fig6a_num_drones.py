@@ -1,0 +1,22 @@
+"""Fig. 6a — resilience vs number of drones under agent/server faults."""
+
+from benchmarks._common import BENCH_CACHE, BENCH_DRONE_SCALE, save_result
+from repro.core import experiments
+
+
+def test_fig6a_drone_count_sweep(benchmark):
+    result = benchmark.pedantic(
+        lambda: experiments.drone_count_sweep(
+            scale=BENCH_DRONE_SCALE,
+            drone_counts=(2, 4),
+            ber_values=(0.0, 1e-2),
+            cache=BENCH_CACHE,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    save_result("fig6a", result)
+    assert set(result.series) == {"(2,server)", "(2,agent)", "(4,server)", "(4,agent)"}
+    # Every configuration must fly a meaningful distance in the no-fault column.
+    for series in result.series.values():
+        assert series[0] > 30.0

@@ -1,0 +1,25 @@
+"""Fig. 6b — communication-interval trade-off: resilience vs communication cost."""
+
+from benchmarks._common import BENCH_CACHE, BENCH_DRONE_SCALE, save_result
+from repro.core import experiments
+
+
+def test_fig6b_communication_interval(benchmark):
+    result = benchmark.pedantic(
+        lambda: experiments.communication_interval_study(
+            scale=BENCH_DRONE_SCALE,
+            interval_multipliers=(1, 2, 3),
+            fault_ber=1e-2,
+            cache=BENCH_CACHE,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    save_result("fig6b", result)
+    rounds = result.series["communication_rounds"]
+    # The paper's headline cost saving: a longer interval communicates less.
+    assert rounds[0] >= rounds[1] >= rounds[2]
+    assert rounds[2] < rounds[0]
+    # Flight distances stay positive in every scenario.
+    for name in ("no_fault", "agent_fault", "server_fault"):
+        assert all(value > 0.0 for value in result.series[name])

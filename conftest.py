@@ -1,0 +1,12 @@
+"""Pytest bootstrap: make the in-tree ``src`` layout importable.
+
+This keeps ``pytest`` working even when the package has not been installed
+(e.g. offline environments where editable installs are unavailable).
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

@@ -1,0 +1,64 @@
+"""GridWorld fault-injection campaign: regenerate the paper's Fig. 3/4 trends.
+
+Run with::
+
+    python examples/gridworld_fault_campaign.py [--paper-scale]
+
+Without flags the campaign runs at a laptop-friendly scale (a few minutes);
+``--paper-scale`` switches to the paper's 12-agent / 1000-episode setup
+(hours of CPU time).
+"""
+
+import argparse
+
+from repro.analysis import check_heatmap_trend, check_series_order, experiment_report
+from repro.core import GridWorldScale, experiments
+from repro.core.pretrained import PolicyCache
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--paper-scale", action="store_true",
+                        help="run at the paper's full scale (very slow)")
+    parser.add_argument("--agents", type=int, default=3, help="number of FRL agents")
+    parser.add_argument("--episodes", type=int, default=100, help="training episodes")
+    args = parser.parse_args()
+
+    if args.paper_scale:
+        scale = GridWorldScale.paper()
+    else:
+        scale = GridWorldScale(agent_count=args.agents, episodes=args.episodes,
+                               evaluation_attempts=8)
+    cache = PolicyCache()
+
+    print("Running GridWorld training fault campaigns (Fig. 3a/3b)...")
+    agent_heatmap = experiments.gridworld_training_heatmap(
+        "agent", scale=scale, ber_values=(0.0, 0.01, 0.02), episode_fractions=(0.5, 0.9)
+    )
+    server_heatmap = experiments.gridworld_training_heatmap(
+        "server", scale=scale, ber_values=(0.0, 0.01, 0.02), episode_fractions=(0.5, 0.9)
+    )
+
+    print("Running GridWorld inference fault sweep (Fig. 4)...")
+    inference = experiments.gridworld_inference_sweep(
+        scale=scale, ber_values=(0.0, 0.01, 0.02), cache=cache, repeats=2,
+        variants=("Multi-Trans-M", "Multi-Trans-1", "Single-Trans-M"),
+    )
+
+    observations = [
+        check_heatmap_trend(agent_heatmap, name="agent faults: higher BER degrades SR"),
+        check_heatmap_trend(server_heatmap, name="server faults: higher BER degrades SR"),
+        check_series_order(inference, better="Multi-Trans-1", worse="Multi-Trans-M",
+                           name="single-step faults are benign"),
+        check_series_order(inference, better="Multi-Trans-M", worse="Single-Trans-M",
+                           name="FRL policy beats single-agent policy under faults"),
+    ]
+    print(experiment_report(
+        {"fig3a": agent_heatmap, "fig3b": server_heatmap, "fig4": inference},
+        observations=observations,
+        title="GridWorld fault campaign",
+    ))
+
+
+if __name__ == "__main__":
+    main()

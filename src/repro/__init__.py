@@ -1,0 +1,22 @@
+"""FRL-FI: transient fault analysis for federated reinforcement learning navigation.
+
+A from-scratch reproduction of *FRL-FI: Transient Fault Analysis for Federated
+Reinforcement Learning-Based Navigation Systems* (DATE 2022).  The package
+provides the full stack the paper's evaluation depends on -- a numpy neural
+network substrate, quantization codecs, a bit-level fault-injection engine,
+GridWorld and drone navigation environments, Q-learning / REINFORCE agents, a
+federated learning layer, the proposed mitigation schemes and an analytical
+drone performance model -- plus one experiment function per paper figure and
+table.
+
+Quickstart::
+
+    from repro.core import FaultCharacterizationFramework, GridWorldScale
+
+    framework = FaultCharacterizationFramework(gridworld_scale=GridWorldScale.tiny())
+    print(framework.run("fig9").render())
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,18 @@
+"""Analysis helpers: observation extraction and report generation."""
+
+from repro.analysis.observations import (
+    ObservationCheck,
+    check_heatmap_trend,
+    check_improvement,
+    check_series_order,
+)
+from repro.analysis.report import experiment_report, render_result
+
+__all__ = [
+    "ObservationCheck",
+    "check_heatmap_trend",
+    "check_series_order",
+    "check_improvement",
+    "experiment_report",
+    "render_result",
+]

@@ -1,0 +1,33 @@
+"""Render experiment results into plain-text reports."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from repro.core.results import HeatmapResult, SweepResult, TableResult
+
+
+def render_result(result) -> str:
+    """Render any experiment result (heatmap, sweep, table) as text."""
+    if isinstance(result, (HeatmapResult, SweepResult, TableResult)):
+        return result.render()
+    return str(result)
+
+
+def experiment_report(
+    results: Dict[str, object],
+    observations: Optional[Iterable] = None,
+    title: str = "FRL-FI reproduction report",
+) -> str:
+    """Combine experiment results and observation checks into one report."""
+    lines = [title, "=" * len(title), ""]
+    for experiment_id in sorted(results):
+        lines.append(f"--- {experiment_id} ---")
+        lines.append(render_result(results[experiment_id]))
+        lines.append("")
+    if observations:
+        lines.append("Observation checks")
+        lines.append("------------------")
+        for check in observations:
+            lines.append(str(check))
+    return "\n".join(lines)

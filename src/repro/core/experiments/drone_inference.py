@@ -1,0 +1,78 @@
+"""DroneNav inference-time experiments (paper §IV-B-3 data-type study)."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.core.config import DroneScale
+from repro.core.experiments.inference_utils import (
+    drone_agent_with_state,
+    flight_distance_over_envs,
+)
+from repro.core.pretrained import PolicyCache, default_cache
+from repro.core.results import SweepResult
+from repro.core.workloads import drone_environments
+from repro.faults import FaultInjector
+from repro.utils.rng import RngFactory
+
+StateDict = Dict[str, np.ndarray]
+
+DEFAULT_DATATYPES = ("Q(1,4,11)", "Q(1,7,8)", "Q(1,10,5)")
+DEFAULT_DATATYPE_BERS = (0.0, 1e-3, 1e-2)
+
+
+def evaluate_drone_policy(
+    state: StateDict,
+    scale: Optional[DroneScale] = None,
+    attempts_per_env: int = 1,
+    rng=None,
+) -> float:
+    """Average safe flight distance of ``state`` over the canonical drone worlds."""
+    scale = scale or DroneScale.fast()
+    envs = drone_environments(scale)
+    agent = drone_agent_with_state(scale, state, rng=rng)
+    return flight_distance_over_envs(agent, envs, attempts_per_env)
+
+
+def datatype_study(
+    scale: Optional[DroneScale] = None,
+    datatypes: Sequence[str] = DEFAULT_DATATYPES,
+    ber_values: Sequence[float] = DEFAULT_DATATYPE_BERS,
+    cache: Optional[PolicyCache] = None,
+    repeats: int = 2,
+) -> SweepResult:
+    """Inference resilience of fixed-point data types (paper §IV-B-3).
+
+    The policy weights are stored in each Q(sign, integer, fraction) format
+    and corrupted at increasing BER; a format whose range barely covers the
+    parameter distribution (Q(1,4,11)) limits the damage a high-order bit flip
+    can do, while an unnecessarily wide format (Q(1,10,5)) produces large
+    outliers.
+    """
+    scale = scale or DroneScale.fast()
+    cache = cache or default_cache()
+    policy = cache.drone_policy(scale)["policy"]
+    envs = drone_environments(scale)
+    rngs = RngFactory(scale.seed)
+    series: Dict[str, list] = {name: [] for name in datatypes}
+    attempts = scale.evaluation_attempts
+    for ber_index, ber in enumerate(ber_values):
+        for datatype in datatypes:
+            distances = []
+            for repeat in range(repeats):
+                stream = rngs.stream("datatype", datatype, ber_index, repeat)
+                injector = FaultInjector(datatype=datatype, model="transient", rng=stream)
+                corrupted = injector.corrupt_state_dict(policy, ber)
+                agent = drone_agent_with_state(scale, corrupted, rng=stream)
+                distances.append(flight_distance_over_envs(agent, envs, attempts))
+            series[datatype].append(float(np.mean(distances)))
+    return SweepResult(
+        title="Data-type resilience study (paper §IV-B-3)",
+        metric="safe flight distance (m)",
+        x_axis="BER",
+        x_values=[f"{ber:g}" for ber in ber_values],
+        series=series,
+        metadata={"repeats": repeats},
+    )

@@ -1,0 +1,190 @@
+"""DroneNav training-time experiments (paper Fig. 5 and Fig. 6)."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.core.config import DroneScale
+from repro.core.fault_callbacks import make_training_fault
+from repro.core.pretrained import PolicyCache, default_cache
+from repro.core.results import HeatmapResult, SweepResult
+from repro.core.workloads import build_drone_frl_system, build_drone_single_system
+from repro.federated import CommunicationSchedule
+from repro.utils.rng import RngFactory
+
+DEFAULT_DRONE_BERS = (0.0, 1e-3, 1e-2, 1e-1)
+DEFAULT_EPISODE_FRACTIONS = (0.25, 0.75)
+
+
+def _injection_episodes(scale: DroneScale, fractions: Sequence[float]) -> list:
+    total = max(1, scale.fine_tune_episodes)
+    return sorted({max(0, min(total - 1, int(round(total * f)))) for f in fractions})
+
+
+def _build_system(scale: DroneScale, location: str, initial_state, seed_offset: int):
+    if location == "single":
+        return build_drone_single_system(
+            scale, seed_offset=seed_offset, initial_state=initial_state, environment_count=1
+        )
+    return build_drone_frl_system(scale, seed_offset=seed_offset, initial_state=initial_state)
+
+
+def drone_training_heatmap(
+    location: str = "server",
+    scale: Optional[DroneScale] = None,
+    ber_values: Sequence[float] = DEFAULT_DRONE_BERS,
+    episode_fractions: Sequence[float] = DEFAULT_EPISODE_FRACTIONS,
+    cache: Optional[PolicyCache] = None,
+) -> HeatmapResult:
+    """Safe flight distance over (BER × injection episode) during fine-tuning.
+
+    ``location`` selects the paper's panels: ``"agent"`` (Fig. 5a),
+    ``"server"`` (Fig. 5b) and ``"single"`` (Fig. 5c).  Fine-tuning starts
+    from the offline pre-trained policy, matching the paper's transfer-learning
+    setup.
+    """
+    scale = scale or DroneScale.fast()
+    if location not in ("agent", "server", "single"):
+        raise ValueError(f"location must be 'agent', 'server' or 'single', got {location!r}")
+    cache = cache or default_cache()
+    pretrained = cache.drone_policy(scale)["policy"]
+    episodes = _injection_episodes(scale, episode_fractions)
+    values = np.zeros((len(ber_values), len(episodes)))
+    for repeat in range(scale.repeats):
+        for row, ber in enumerate(ber_values):
+            for column, injection_episode in enumerate(episodes):
+                system = _build_system(scale, location, pretrained, seed_offset=repeat)
+                fault_location = "server" if location == "server" else "agent"
+                callback = make_training_fault(
+                    location=fault_location,
+                    bit_error_rate=ber,
+                    injection_episode=injection_episode,
+                    datatype=scale.datatype,
+                    rng=RngFactory(scale.seed).stream("drone-fi", repeat, row, column),
+                )
+                system.train(scale.fine_tune_episodes, callbacks=[callback])
+                values[row, column] += system.average_flight_distance(
+                    attempts=scale.evaluation_attempts
+                )
+    values /= scale.repeats
+    title = {
+        "agent": "DroneNav fine-tuning, agent faults (Fig. 5a)",
+        "server": "DroneNav fine-tuning, server faults (Fig. 5b)",
+        "single": "DroneNav fine-tuning, single-drone system (Fig. 5c)",
+    }[location]
+    return HeatmapResult(
+        title=title,
+        metric="safe flight distance (m)",
+        row_axis="BER",
+        column_axis="episode",
+        row_labels=[f"{ber:g}" for ber in ber_values],
+        column_labels=list(episodes),
+        values=values,
+        metadata={"location": location},
+    )
+
+
+def drone_count_sweep(
+    scale: Optional[DroneScale] = None,
+    drone_counts: Sequence[int] = (2, 4, 6),
+    ber_values: Sequence[float] = (0.0, 1e-2, 1e-1),
+    cache: Optional[PolicyCache] = None,
+) -> SweepResult:
+    """Flight distance vs BER for different swarm sizes and fault locations.
+
+    Reproduces Fig. 6a: one series per (drone count, fault location) pair.
+    More drones smooth agent faults more strongly and generalize better under
+    server faults.
+    """
+    scale = scale or DroneScale.fast()
+    cache = cache or default_cache()
+    series: Dict[str, list] = {}
+    for count in drone_counts:
+        count_scale = scale.with_drones(count)
+        pretrained = cache.drone_policy(count_scale)["policy"]
+        for location in ("server", "agent"):
+            name = f"({count},{location})"
+            series[name] = []
+            for ber_index, ber in enumerate(ber_values):
+                system = build_drone_frl_system(count_scale, initial_state=pretrained)
+                callback = make_training_fault(
+                    location=location,
+                    bit_error_rate=ber,
+                    injection_episode=max(0, scale.fine_tune_episodes // 2),
+                    datatype=scale.datatype,
+                    rng=RngFactory(scale.seed).stream("count", count, location, ber_index),
+                )
+                system.train(scale.fine_tune_episodes, callbacks=[callback])
+                series[name].append(
+                    system.average_flight_distance(attempts=scale.evaluation_attempts)
+                )
+    return SweepResult(
+        title="Resilience vs number of drones (Fig. 6a)",
+        metric="safe flight distance (m)",
+        x_axis="BER",
+        x_values=[f"{ber:g}" for ber in ber_values],
+        series=series,
+        metadata={"drone_counts": list(drone_counts)},
+    )
+
+
+def communication_interval_study(
+    scale: Optional[DroneScale] = None,
+    interval_multipliers: Sequence[int] = (1, 2, 3),
+    fault_ber: float = 1e-2,
+    cache: Optional[PolicyCache] = None,
+) -> SweepResult:
+    """Resilience / communication-cost trade-off of the interval (Fig. 6b).
+
+    The communication interval is multiplied by each factor after one third of
+    the fine-tuning episodes (the paper switches after the 2000th episode).
+    For every multiplier the no-fault, agent-fault and server-fault flight
+    distances are measured along with the number of communication rounds.
+    """
+    scale = scale or DroneScale.fast()
+    cache = cache or default_cache()
+    pretrained = cache.drone_policy(scale)["policy"]
+    switch_episode = max(1, scale.fine_tune_episodes // 3)
+    injection_episode = max(switch_episode, scale.fine_tune_episodes - 2)
+    series: Dict[str, list] = {
+        "no_fault": [],
+        "agent_fault": [],
+        "server_fault": [],
+        "communication_rounds": [],
+    }
+    for multiplier in interval_multipliers:
+        schedule = CommunicationSchedule(
+            base_interval=scale.communication_interval,
+            multiplier=multiplier,
+            switch_episode=switch_episode,
+        )
+        for scenario in ("no_fault", "agent_fault", "server_fault"):
+            system = build_drone_frl_system(scale, initial_state=pretrained, schedule=schedule)
+            callbacks = []
+            if scenario != "no_fault":
+                location = "agent" if scenario == "agent_fault" else "server"
+                callbacks.append(
+                    make_training_fault(
+                        location=location,
+                        bit_error_rate=fault_ber,
+                        injection_episode=injection_episode,
+                        datatype=scale.datatype,
+                        rng=RngFactory(scale.seed).stream("interval", multiplier, scenario),
+                    )
+                )
+            log = system.train(scale.fine_tune_episodes, callbacks=callbacks)
+            series[scenario].append(
+                system.average_flight_distance(attempts=scale.evaluation_attempts)
+            )
+            if scenario == "no_fault":
+                series["communication_rounds"].append(float(log.communication_count))
+    return SweepResult(
+        title="Communication interval trade-off (Fig. 6b)",
+        metric="safe flight distance (m) / rounds",
+        x_axis="interval multiplier",
+        x_values=[f"{m}x" for m in interval_multipliers],
+        series=series,
+        metadata={"fault_ber": fault_ber, "switch_episode": switch_episode},
+    )

@@ -1,0 +1,117 @@
+"""GridWorld inference-time experiments (paper Fig. 4)."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.core.config import GridWorldScale
+from repro.core.experiments.inference_utils import (
+    gridworld_agent_with_state,
+    single_step_fault_success_rate,
+    success_rate_over_envs,
+)
+from repro.core.pretrained import PolicyCache, default_cache
+from repro.core.results import SweepResult
+from repro.core.workloads import build_gridworld_single_system, gridworld_environments
+from repro.faults import FaultInjector
+from repro.utils.rng import RngFactory
+
+StateDict = Dict[str, np.ndarray]
+
+DEFAULT_INFERENCE_BERS = (0.0, 0.005, 0.01, 0.02)
+DEFAULT_VARIANTS = ("Multi-Trans-M", "Multi-Trans-1", "Single-Trans-M", "Stuck-at-0", "Stuck-at-1")
+
+
+def evaluate_gridworld_policy(
+    state: StateDict,
+    scale: Optional[GridWorldScale] = None,
+    attempts_per_env: int = 5,
+    rng=None,
+) -> float:
+    """Average success rate of ``state`` over the canonical GridWorld suite."""
+    scale = scale or GridWorldScale.fast()
+    envs = gridworld_environments(scale)
+    agent = gridworld_agent_with_state(scale, state, rng=rng)
+    return success_rate_over_envs(agent, envs, attempts_per_env)
+
+
+def _single_agent_policy(scale: GridWorldScale) -> StateDict:
+    """Train the single-agent baseline policy used by the Single-Trans-M curve."""
+    system = build_gridworld_single_system(scale, environment_count=1)
+    system.train(scale.episodes)
+    return system.consensus_state()
+
+
+def gridworld_inference_sweep(
+    scale: Optional[GridWorldScale] = None,
+    ber_values: Sequence[float] = DEFAULT_INFERENCE_BERS,
+    variants: Sequence[str] = DEFAULT_VARIANTS,
+    cache: Optional[PolicyCache] = None,
+    repeats: int = 3,
+) -> SweepResult:
+    """Success rate vs BER for the paper's inference fault variants (Fig. 4).
+
+    * ``Multi-Trans-M``  — persistent memory fault in the unified FRL policy,
+    * ``Multi-Trans-1``  — register fault affecting a single action step,
+    * ``Single-Trans-M`` — persistent memory fault in the single-agent policy,
+    * ``Stuck-at-0`` / ``Stuck-at-1`` — persistent stuck-at faults in the FRL
+      policy (the Fig. 4 inset comparison).
+    """
+    scale = scale or GridWorldScale.fast()
+    cache = cache or default_cache()
+    rngs = RngFactory(scale.seed)
+    trained = cache.gridworld_policies(scale)
+    multi_policy = trained["consensus"]
+    envs = gridworld_environments(scale)
+    single_policy = _single_agent_policy(scale) if "Single-Trans-M" in variants else None
+    single_envs = envs[:1]
+
+    series: Dict[str, list] = {variant: [] for variant in variants}
+    attempts = max(2, scale.evaluation_attempts // 2)
+    for ber_index, ber in enumerate(ber_values):
+        accumulators = {variant: [] for variant in variants}
+        for repeat in range(repeats):
+            stream = rngs.stream("inference", ber_index, repeat)
+            injector = FaultInjector(datatype=scale.datatype, model="transient", rng=stream)
+            for variant in variants:
+                if variant == "Multi-Trans-M":
+                    corrupted = injector.corrupt_state_dict(multi_policy, ber)
+                    agent = gridworld_agent_with_state(scale, corrupted, rng=stream)
+                    accumulators[variant].append(
+                        success_rate_over_envs(agent, envs, attempts)
+                    )
+                elif variant == "Multi-Trans-1":
+                    corrupted = injector.corrupt_state_dict(multi_policy, ber)
+                    accumulators[variant].append(
+                        single_step_fault_success_rate(
+                            scale, multi_policy, corrupted, envs, attempts, rng=stream
+                        )
+                    )
+                elif variant == "Single-Trans-M":
+                    corrupted = injector.corrupt_state_dict(single_policy, ber)
+                    agent = gridworld_agent_with_state(scale, corrupted, rng=stream)
+                    accumulators[variant].append(
+                        success_rate_over_envs(agent, single_envs, attempts)
+                    )
+                elif variant in ("Stuck-at-0", "Stuck-at-1"):
+                    model = "stuck-at-0" if variant == "Stuck-at-0" else "stuck-at-1"
+                    stuck_injector = FaultInjector(datatype=scale.datatype, model=model, rng=stream)
+                    corrupted = stuck_injector.corrupt_state_dict(multi_policy, ber)
+                    agent = gridworld_agent_with_state(scale, corrupted, rng=stream)
+                    accumulators[variant].append(
+                        success_rate_over_envs(agent, envs, attempts)
+                    )
+                else:
+                    raise ValueError(f"unknown inference variant {variant!r}")
+        for variant in variants:
+            series[variant].append(float(np.mean(accumulators[variant])) * 100.0)
+    return SweepResult(
+        title="GridWorld inference under transient faults (Fig. 4)",
+        metric="success rate (%)",
+        x_axis="BER",
+        x_values=[f"{ber:.3%}" for ber in ber_values],
+        series=series,
+        metadata={"clean_success_rate": trained["success_rate"] * 100.0, "repeats": repeats},
+    )

@@ -1,0 +1,194 @@
+"""GridWorld training-time experiments (paper Fig. 3 and Table I)."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.config import GridWorldScale
+from repro.core.fault_callbacks import make_training_fault
+from repro.core.results import HeatmapResult, SweepResult, TableResult
+from repro.core.workloads import build_gridworld_frl_system, build_gridworld_single_system
+from repro.quant.bitstats import bit_breakdown
+from repro.rl.policy import consensus_policy_std
+from repro.utils.rng import RngFactory
+
+DEFAULT_BERS = (0.0, 0.005, 0.01, 0.02)
+DEFAULT_EPISODE_FRACTIONS = (0.3, 0.6, 0.9)
+
+
+def _injection_episodes(scale: GridWorldScale, fractions: Sequence[float]) -> list:
+    return sorted({max(0, min(scale.episodes - 1, int(round(scale.episodes * f)))) for f in fractions})
+
+
+def _build_system(scale: GridWorldScale, location: str, seed_offset: int):
+    if location == "single":
+        return build_gridworld_single_system(scale, seed_offset=seed_offset)
+    return build_gridworld_frl_system(scale, seed_offset=seed_offset)
+
+
+def gridworld_training_heatmap(
+    location: str = "server",
+    scale: Optional[GridWorldScale] = None,
+    ber_values: Sequence[float] = DEFAULT_BERS,
+    episode_fractions: Sequence[float] = DEFAULT_EPISODE_FRACTIONS,
+) -> HeatmapResult:
+    """Success rate over (BER × fault-injection episode) during FRL training.
+
+    ``location`` selects the paper's three panels: ``"agent"`` (Fig. 3a),
+    ``"server"`` (Fig. 3b) and ``"single"`` — the single-agent system with
+    the fault applied directly to its policy (Fig. 3c).
+    """
+    scale = scale or GridWorldScale.fast()
+    if location not in ("agent", "server", "single"):
+        raise ValueError(f"location must be 'agent', 'server' or 'single', got {location!r}")
+    episodes = _injection_episodes(scale, episode_fractions)
+    values = np.zeros((len(ber_values), len(episodes)))
+    for repeat in range(scale.repeats):
+        for row, ber in enumerate(ber_values):
+            for column, injection_episode in enumerate(episodes):
+                system = _build_system(scale, location, seed_offset=repeat)
+                fault_location = "server" if location == "server" else "agent"
+                callback = make_training_fault(
+                    location=fault_location,
+                    bit_error_rate=ber,
+                    injection_episode=injection_episode,
+                    datatype=scale.datatype,
+                    rng=RngFactory(scale.seed).stream("fi", repeat, row, column),
+                )
+                system.train(scale.episodes, callbacks=[callback])
+                values[row, column] += system.average_success_rate(
+                    attempts=scale.evaluation_attempts
+                )
+    values = values / scale.repeats * 100.0
+    title = {
+        "agent": "GridWorld training, agent faults (Fig. 3a)",
+        "server": "GridWorld training, server faults (Fig. 3b)",
+        "single": "GridWorld training, single-agent system (Fig. 3c)",
+    }[location]
+    return HeatmapResult(
+        title=title,
+        metric="success rate (%)",
+        row_axis="BER",
+        column_axis="episode",
+        row_labels=[f"{ber:.3%}" for ber in ber_values],
+        column_labels=list(episodes),
+        values=values,
+        metadata={"location": location, "scale": "fast" if scale == GridWorldScale.fast() else "custom"},
+    )
+
+
+def convergence_after_fault(
+    scale: Optional[GridWorldScale] = None,
+    ber_values: Sequence[float] = (0.005, 0.01, 0.02),
+    injection_fraction: float = 0.9,
+    recovery_success_rate: float = 0.96,
+    evaluation_interval: int = 10,
+    max_extra_episodes: Optional[int] = None,
+) -> SweepResult:
+    """Episodes needed to recover after a late fault (paper Fig. 3e).
+
+    A fault is injected near the end of training (default: the 90 % episode);
+    training then continues and the unified policy is evaluated every
+    ``evaluation_interval`` episodes until its success rate exceeds
+    ``recovery_success_rate``.  The reported value is the total number of
+    episodes (injection episode + recovery episodes), one series per fault
+    location.
+    """
+    scale = scale or GridWorldScale.fast()
+    max_extra_episodes = max_extra_episodes or scale.episodes
+    injection_episode = max(0, min(scale.episodes - 1, int(round(scale.episodes * injection_fraction))))
+    series = {"agent": [], "server": []}
+    for location in ("agent", "server"):
+        for ber in ber_values:
+            system = build_gridworld_frl_system(scale)
+            callback = make_training_fault(
+                location=location,
+                bit_error_rate=ber,
+                injection_episode=injection_episode,
+                datatype=scale.datatype,
+                rng=RngFactory(scale.seed).stream("conv", location, int(ber * 1e6)),
+            )
+            system.train(scale.episodes, callbacks=[callback])
+            episodes_to_converge = scale.episodes
+            extra = 0
+            while extra < max_extra_episodes:
+                success = system.average_success_rate(attempts=scale.evaluation_attempts)
+                if success >= recovery_success_rate:
+                    break
+                system.train(evaluation_interval, start_episode=scale.episodes + extra)
+                extra += evaluation_interval
+            episodes_to_converge += extra
+            series[location].append(float(episodes_to_converge))
+    return SweepResult(
+        title="Episodes to converge after late fault (Fig. 3e)",
+        metric="episodes",
+        x_axis="BER",
+        x_values=[f"{ber:.3%}" for ber in ber_values],
+        series=series,
+        metadata={
+            "injection_episode": injection_episode,
+            "recovery_success_rate": recovery_success_rate,
+        },
+    )
+
+
+def policy_std_table(
+    scale: Optional[GridWorldScale] = None,
+    agent_counts: Sequence[int] = (1, 4, 8, 12),
+) -> TableResult:
+    """Standard deviation of the consensus policy (paper Table I)."""
+    scale = scale or GridWorldScale.fast()
+    rows = []
+    for count in agent_counts:
+        if count <= 0:
+            raise ValueError("agent counts must be positive")
+        if count == 1:
+            system = build_gridworld_single_system(scale, environment_count=1)
+            system.train(scale.episodes)
+            label = "Single-agent"
+        else:
+            system = build_gridworld_frl_system(scale.with_agents(count))
+            system.train(scale.episodes)
+            label = f"Multi-agent (n={count})"
+        std = consensus_policy_std(system.consensus_state())
+        rows.append([label, std])
+    return TableResult(
+        title="Std of the consensus policy (Table I)",
+        headers=["system", "policy std"],
+        rows=rows,
+        metadata={"episodes": scale.episodes},
+    )
+
+
+def weight_distribution(
+    scale: Optional[GridWorldScale] = None,
+    datatype: Optional[str] = None,
+    consensus: Optional[dict] = None,
+) -> TableResult:
+    """Weight range and 0/1 bit breakdown of the trained policy (Fig. 3d).
+
+    ``consensus`` may carry an already-trained policy state dict (e.g. from
+    the policy cache); otherwise a fresh FRL system is trained at ``scale``.
+    """
+    scale = scale or GridWorldScale.fast()
+    datatype = datatype or scale.datatype
+    if consensus is None:
+        system = build_gridworld_frl_system(scale)
+        system.train(scale.episodes)
+        consensus = system.consensus_state()
+    breakdown = bit_breakdown(consensus, datatype=datatype)
+    rows = [
+        ["min weight", breakdown.min_value],
+        ["max weight", breakdown.max_value],
+        ["0 bits (%)", breakdown.zero_bit_fraction * 100.0],
+        ["1 bits (%)", breakdown.one_bit_fraction * 100.0],
+        ["total bits", float(breakdown.total_bits)],
+    ]
+    return TableResult(
+        title=f"Policy weight distribution under {datatype} storage (Fig. 3d)",
+        headers=["quantity", "value"],
+        rows=rows,
+        metadata={"datatype": datatype},
+    )

@@ -1,0 +1,90 @@
+"""Shared helpers for inference-time fault experiments."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.core.config import DroneScale, GridWorldScale
+from repro.core.workloads import drone_agent_config, gridworld_agent_config
+from repro.envs.base import Environment
+from repro.rl import QLearningAgent, ReinforceAgent
+from repro.utils.rng import as_rng
+
+StateDict = Dict[str, np.ndarray]
+
+
+def gridworld_agent_with_state(scale: GridWorldScale, state: StateDict, rng=None) -> QLearningAgent:
+    """A GridWorld agent whose Q-network holds ``state`` (greedy inference)."""
+    agent = QLearningAgent(gridworld_agent_config(scale), rng=as_rng(rng))
+    agent.load_state_dict(state)
+    return agent
+
+
+def drone_agent_with_state(scale: DroneScale, state: StateDict, rng=None) -> ReinforceAgent:
+    """A DroneNav agent whose CNN policy holds ``state`` (greedy inference)."""
+    agent = ReinforceAgent(drone_agent_config(scale), rng=as_rng(rng))
+    agent.load_state_dict(state)
+    return agent
+
+
+def success_rate_over_envs(
+    agent, envs: Sequence[Environment], attempts_per_env: int
+) -> float:
+    """Average GridWorld success rate over ``envs`` with a greedy policy."""
+    from repro.rl.rollout import evaluate_success_rate
+
+    rates = [evaluate_success_rate(agent, env, attempts=attempts_per_env) for env in envs]
+    return float(np.mean(rates))
+
+
+def flight_distance_over_envs(
+    agent, envs: Sequence[Environment], attempts_per_env: int
+) -> float:
+    """Average DroneNav safe flight distance over ``envs`` with a greedy policy."""
+    from repro.rl.rollout import evaluate_flight_distance
+
+    distances = [
+        evaluate_flight_distance(agent, env, attempts=attempts_per_env) for env in envs
+    ]
+    return float(np.mean(distances))
+
+
+def single_step_fault_success_rate(
+    scale: GridWorldScale,
+    clean_state: StateDict,
+    corrupted_state: StateDict,
+    envs: Sequence[Environment],
+    attempts_per_env: int,
+    rng=None,
+) -> float:
+    """Success rate when the fault affects only one action step (Trans-1).
+
+    For every attempt one step index is drawn at random; at that step the
+    action is computed with the corrupted policy (a faulty read register),
+    every other step uses the clean policy (memory is intact).
+    """
+    rng = as_rng(rng)
+    clean_agent = gridworld_agent_with_state(scale, clean_state, rng=rng)
+    faulty_agent = gridworld_agent_with_state(scale, corrupted_state, rng=rng)
+    successes = 0
+    total = 0
+    for env in envs:
+        for _attempt in range(attempts_per_env):
+            faulty_step = int(rng.integers(0, scale.max_steps))
+            observation = env.reset()
+            done = False
+            step = 0
+            outcome = ""
+            while not done:
+                actor = faulty_agent if step == faulty_step else clean_agent
+                action = actor.select_action(observation, explore=False)
+                result = env.step(action)
+                observation = result.observation
+                done = result.done
+                outcome = str(result.info.get("outcome", ""))
+                step += 1
+            successes += int(outcome == "goal")
+            total += 1
+    return successes / total if total else 0.0

@@ -1,0 +1,53 @@
+"""End-to-end protection-overhead comparison (paper Fig. 9)."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.results import TableResult
+from repro.droneperf import AIRSIM_DRONE, DJI_SPARK, DronePlatform, evaluate_protection_overheads
+
+
+def overhead_comparison(
+    platforms: Optional[Sequence[DronePlatform]] = None,
+    schemes: Sequence[str] = ("baseline", "detection", "dmr", "tmr"),
+) -> TableResult:
+    """Flight-distance cost of DMR/TMR versus the proposed detection scheme.
+
+    For each platform and protection scheme the analytical performance model
+    estimates the safe flight distance; the table also reports the degradation
+    relative to the proposed low-overhead detection scheme (paper Fig. 9).
+    """
+    platforms = list(platforms) if platforms is not None else [AIRSIM_DRONE, DJI_SPARK]
+    rows = []
+    for platform in platforms:
+        result = evaluate_protection_overheads(platform, schemes=schemes)
+        reference = result.estimates["detection"].flight_distance_m
+        for scheme in schemes:
+            estimate = result.estimates[scheme]
+            degradation_vs_detection = (
+                (reference - estimate.flight_distance_m) / reference * 100.0 if reference else 0.0
+            )
+            rows.append(
+                [
+                    platform.name,
+                    scheme,
+                    estimate.flight_distance_m,
+                    estimate.flight_time_s / 60.0,
+                    estimate.total_power_w,
+                    degradation_vs_detection,
+                ]
+            )
+    return TableResult(
+        title="Protection-scheme overhead comparison (Fig. 9)",
+        headers=[
+            "platform",
+            "scheme",
+            "flight distance (m)",
+            "flight time (min)",
+            "total power (W)",
+            "distance loss vs detection (%)",
+        ],
+        rows=rows,
+        metadata={"schemes": list(schemes)},
+    )

@@ -1,0 +1,114 @@
+"""The FRL-FI framework facade.
+
+:class:`FaultCharacterizationFramework` bundles the experiment scales, the
+policy cache and the per-figure experiment functions behind a single object,
+so examples, benchmarks and downstream users can run any paper artifact by
+its identifier (``"fig3a"``, ``"table1"``, ...) and collect the results into
+an experiment report.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.core import experiments
+from repro.core.config import DroneScale, GridWorldScale
+from repro.core.pretrained import PolicyCache, default_cache
+
+
+class FaultCharacterizationFramework:
+    """End-to-end driver for the paper's fault-characterization campaign."""
+
+    def __init__(
+        self,
+        gridworld_scale: Optional[GridWorldScale] = None,
+        drone_scale: Optional[DroneScale] = None,
+        cache: Optional[PolicyCache] = None,
+    ) -> None:
+        self.gridworld_scale = gridworld_scale or GridWorldScale.fast()
+        self.drone_scale = drone_scale or DroneScale.fast()
+        self.cache = cache or default_cache()
+        self.results: Dict[str, object] = {}
+        self._registry: Dict[str, Callable[[], object]] = {
+            "fig3a": lambda: experiments.gridworld_training_heatmap(
+                "agent", scale=self.gridworld_scale
+            ),
+            "fig3b": lambda: experiments.gridworld_training_heatmap(
+                "server", scale=self.gridworld_scale
+            ),
+            "fig3c": lambda: experiments.gridworld_training_heatmap(
+                "single", scale=self.gridworld_scale
+            ),
+            "fig3d": lambda: experiments.weight_distribution(
+                scale=self.gridworld_scale,
+                consensus=self.cache.gridworld_policies(self.gridworld_scale)["consensus"],
+            ),
+            "fig3e": lambda: experiments.convergence_after_fault(scale=self.gridworld_scale),
+            "table1": lambda: experiments.policy_std_table(
+                scale=self.gridworld_scale, agent_counts=(1, 4, 8)
+            ),
+            "fig4": lambda: experiments.gridworld_inference_sweep(
+                scale=self.gridworld_scale, cache=self.cache
+            ),
+            "fig5a": lambda: experiments.drone_training_heatmap(
+                "agent", scale=self.drone_scale, cache=self.cache
+            ),
+            "fig5b": lambda: experiments.drone_training_heatmap(
+                "server", scale=self.drone_scale, cache=self.cache
+            ),
+            "fig5c": lambda: experiments.drone_training_heatmap(
+                "single", scale=self.drone_scale, cache=self.cache
+            ),
+            "fig6a": lambda: experiments.drone_count_sweep(
+                scale=self.drone_scale, drone_counts=(2, 4), cache=self.cache
+            ),
+            "fig6b": lambda: experiments.communication_interval_study(
+                scale=self.drone_scale, cache=self.cache
+            ),
+            "datatypes": lambda: experiments.datatype_study(
+                scale=self.drone_scale, cache=self.cache
+            ),
+            "fig7a": lambda: experiments.training_mitigation_heatmap(
+                "gridworld", "server", scale=self.gridworld_scale, cache=self.cache
+            ),
+            "fig7b": lambda: experiments.training_mitigation_heatmap(
+                "drone", "server", scale=self.drone_scale, cache=self.cache
+            ),
+            "fig8a": lambda: experiments.inference_mitigation_sweep(
+                "gridworld", scale=self.gridworld_scale, cache=self.cache
+            ),
+            "fig8b": lambda: experiments.inference_mitigation_sweep(
+                "drone", scale=self.drone_scale, cache=self.cache
+            ),
+            "fig9": lambda: experiments.overhead_comparison(),
+        }
+
+    @property
+    def experiment_ids(self) -> list:
+        """Identifiers of every reproducible paper artifact."""
+        return sorted(self._registry)
+
+    def run(self, experiment_id: str):
+        """Run one experiment by its paper-artifact identifier."""
+        if experiment_id not in self._registry:
+            raise KeyError(
+                f"unknown experiment {experiment_id!r}; available: {self.experiment_ids}"
+            )
+        result = self._registry[experiment_id]()
+        self.results[experiment_id] = result
+        return result
+
+    def run_all(self, experiment_ids: Optional[list] = None) -> Dict[str, object]:
+        """Run several experiments (default: all) and return the result map."""
+        for experiment_id in experiment_ids or self.experiment_ids:
+            self.run(experiment_id)
+        return dict(self.results)
+
+    def report(self) -> str:
+        """Plain-text report of every result collected so far."""
+        sections = []
+        for experiment_id in sorted(self.results):
+            result = self.results[experiment_id]
+            rendered = result.render() if hasattr(result, "render") else str(result)
+            sections.append(f"=== {experiment_id} ===\n{rendered}")
+        return "\n\n".join(sections)

@@ -1,0 +1,154 @@
+"""Result containers for experiments (heatmaps, sweeps, tables)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.utils.tables import render_heatmap, render_series, render_table
+
+
+@dataclass
+class HeatmapResult:
+    """A metric measured over a (row × column) grid of parameters.
+
+    Mirrors the paper's Fig. 3/5/7 heatmaps: rows are bit-error rates, columns
+    are fault-injection episodes, cells hold the measured metric.
+    """
+
+    title: str
+    metric: str
+    row_axis: str
+    column_axis: str
+    row_labels: List[object]
+    column_labels: List[object]
+    values: np.ndarray
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.values = np.asarray(self.values, dtype=np.float64)
+        if self.values.shape != (len(self.row_labels), len(self.column_labels)):
+            raise ValueError(
+                f"values shape {self.values.shape} does not match "
+                f"{len(self.row_labels)} rows x {len(self.column_labels)} columns"
+            )
+
+    def cell(self, row_label: object, column_label: object) -> float:
+        row = self.row_labels.index(row_label)
+        column = self.column_labels.index(column_label)
+        return float(self.values[row, column])
+
+    def row(self, row_label: object) -> np.ndarray:
+        return self.values[self.row_labels.index(row_label)].copy()
+
+    def render(self, value_format: str = "{:>6.1f}") -> str:
+        return render_heatmap(
+            self.row_labels,
+            self.column_labels,
+            self.values,
+            title=f"{self.title} [{self.metric}]",
+            value_format=value_format,
+            row_axis=self.row_axis,
+            column_axis=self.column_axis,
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "title": self.title,
+            "metric": self.metric,
+            "row_axis": self.row_axis,
+            "column_axis": self.column_axis,
+            "row_labels": list(self.row_labels),
+            "column_labels": list(self.column_labels),
+            "values": self.values.tolist(),
+            "metadata": dict(self.metadata),
+        }
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+@dataclass
+class SweepResult:
+    """One or more named series measured against a shared x-axis."""
+
+    title: str
+    metric: str
+    x_axis: str
+    x_values: List[object]
+    series: Dict[str, List[float]]
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for name, values in self.series.items():
+            if len(values) != len(self.x_values):
+                raise ValueError(
+                    f"series {name!r} has {len(values)} points but there are "
+                    f"{len(self.x_values)} x values"
+                )
+
+    def value(self, series_name: str, x_value: object) -> float:
+        return float(self.series[series_name][self.x_values.index(x_value)])
+
+    def render(self, float_format: str = "{:.2f}") -> str:
+        return render_series(
+            self.x_axis,
+            self.x_values,
+            self.series,
+            title=f"{self.title} [{self.metric}]",
+            float_format=float_format,
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "title": self.title,
+            "metric": self.metric,
+            "x_axis": self.x_axis,
+            "x_values": list(self.x_values),
+            "series": {name: list(values) for name, values in self.series.items()},
+            "metadata": dict(self.metadata),
+        }
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+@dataclass
+class TableResult:
+    """A small table of scalar results (e.g. paper Table I)."""
+
+    title: str
+    headers: List[str]
+    rows: List[Sequence[object]]
+    metadata: dict = field(default_factory=dict)
+
+    def column(self, header: str) -> List[object]:
+        index = self.headers.index(header)
+        return [row[index] for row in self.rows]
+
+    def render(self, float_format: str = "{:.3f}") -> str:
+        return render_table(self.headers, self.rows, title=self.title, float_format=float_format)
+
+    def as_dict(self) -> dict:
+        return {
+            "title": self.title,
+            "headers": list(self.headers),
+            "rows": [list(row) for row in self.rows],
+            "metadata": dict(self.metadata),
+        }
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def summarize_improvement(result: SweepResult, baseline: str, improved: str) -> Optional[float]:
+    """Largest ratio improved/baseline across the sweep (the paper's 'up to N×')."""
+    if baseline not in result.series or improved not in result.series:
+        return None
+    ratios = []
+    for base_value, better_value in zip(result.series[baseline], result.series[improved]):
+        if base_value > 0:
+            ratios.append(better_value / base_value)
+    return max(ratios) if ratios else None

@@ -1,0 +1,27 @@
+"""End-to-end drone performance model (paper Fig. 9).
+
+An analytical cyber-physical model in the spirit of Krishnan et al.'s visual
+performance model: the battery, frame weight and compute payload of a drone
+determine its hover power, flight time, achievable velocity and therefore the
+distance it can safely cover.  Adding redundant compute hardware (DMR/TMR)
+increases both payload mass and compute power, shrinking the safe flight
+distance — dramatically so on a micro-UAV such as the DJI Spark.
+"""
+
+from repro.droneperf.platform import AIRSIM_DRONE, DJI_SPARK, DronePlatform
+from repro.droneperf.performance import (
+    FlightEstimate,
+    ProtectionOverheadResult,
+    estimate_flight,
+    evaluate_protection_overheads,
+)
+
+__all__ = [
+    "DronePlatform",
+    "AIRSIM_DRONE",
+    "DJI_SPARK",
+    "FlightEstimate",
+    "ProtectionOverheadResult",
+    "estimate_flight",
+    "evaluate_protection_overheads",
+]

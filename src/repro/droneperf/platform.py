@@ -1,0 +1,90 @@
+"""Drone platform specifications.
+
+The two platforms evaluated in the paper's overhead study, with the physical
+parameters quoted in Fig. 9's inset table (size, weight, battery capacity)
+and typical values for the remaining quantities (battery voltage, compute
+payload) drawn from the cited performance-model literature.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DronePlatform:
+    """Physical description of a drone platform."""
+
+    name: str
+    drone_type: str
+    size_mm: float
+    mass_g: float
+    battery_capacity_mah: float
+    battery_voltage_v: float
+    compute_mass_g: float
+    compute_power_w: float
+    base_velocity_mps: float
+    max_payload_g: float
+    hover_power_coefficient: float = 0.25
+    """Hover power in watts per (100 g)^1.5; calibrated so the stock platform's
+    flight time is in the familiar 15-25 minute range."""
+
+    def __post_init__(self) -> None:
+        if self.mass_g <= 0 or self.battery_capacity_mah <= 0 or self.battery_voltage_v <= 0:
+            raise ValueError("mass, battery capacity and voltage must be positive")
+        if self.compute_mass_g < 0 or self.compute_power_w < 0:
+            raise ValueError("compute mass and power must be non-negative")
+        if self.base_velocity_mps <= 0:
+            raise ValueError("base velocity must be positive")
+        if self.max_payload_g <= 0:
+            raise ValueError("max_payload_g must be positive")
+
+    @property
+    def battery_energy_wh(self) -> float:
+        """Usable battery energy in watt-hours."""
+        return self.battery_capacity_mah / 1000.0 * self.battery_voltage_v
+
+    def hover_power_w(self, total_mass_g: float) -> float:
+        """Hover/propulsion power for a given all-up mass.
+
+        Rotor-craft hover power scales with mass^1.5 (momentum theory); the
+        coefficient is calibrated per platform.
+        """
+        if total_mass_g <= 0:
+            raise ValueError("total mass must be positive")
+        return self.hover_power_coefficient * (total_mass_g / 100.0) ** 1.5
+
+
+# The AirSim reference drone: a mini-UAV class platform (paper Fig. 9 table).
+# The hover coefficient is calibrated so the stock configuration flies for
+# roughly 25 minutes; the payload budget of a mini-UAV comfortably absorbs an
+# extra compute board or two.
+AIRSIM_DRONE = DronePlatform(
+    name="AirSim drone",
+    drone_type="mini-UAV",
+    size_mm=650.0,
+    mass_g=1652.0,
+    battery_capacity_mah=6250.0,
+    battery_voltage_v=15.2,
+    compute_mass_g=30.0,
+    compute_power_w=5.0,
+    base_velocity_mps=10.0,
+    max_payload_g=500.0,
+    hover_power_coefficient=3.2,
+)
+
+# The DJI Spark: a micro-UAV whose payload budget is essentially zero, so any
+# redundant compute hardware eats directly into its thrust margin.
+DJI_SPARK = DronePlatform(
+    name="DJI Spark",
+    drone_type="micro-UAV",
+    size_mm=170.0,
+    mass_g=300.0,
+    battery_capacity_mah=1480.0,
+    battery_voltage_v=11.4,
+    compute_mass_g=25.0,
+    compute_power_w=4.0,
+    base_velocity_mps=7.0,
+    max_payload_g=50.0,
+    hover_power_coefficient=11.0,
+)

@@ -1,0 +1,42 @@
+"""Navigation environments.
+
+Two workloads mirror the paper's evaluation:
+
+* :class:`GridWorldEnv` — the 10×10 grid-maze navigation task (12 environment
+  layouts combined into 4 grids); the small-scale workload.
+* :class:`DroneNavEnv` — a synthetic substitute for the PEDRA/AirSim drone
+  platform: a 2.5D obstacle world observed through a ray-cast front camera
+  with a depth-shaped reward and the safe-flight-distance metric; the
+  large-scale workload.
+"""
+
+from repro.envs.base import Environment, StepResult
+from repro.envs.gridworld import (
+    CellType,
+    GridWorldEnv,
+    GridWorldLayout,
+    default_gridworld_layouts,
+    make_gridworld_suite,
+)
+from repro.envs.dronenav import (
+    DroneNavConfig,
+    DroneNavEnv,
+    DroneWorld,
+    default_drone_worlds,
+    make_dronenav_suite,
+)
+
+__all__ = [
+    "Environment",
+    "StepResult",
+    "CellType",
+    "GridWorldEnv",
+    "GridWorldLayout",
+    "default_gridworld_layouts",
+    "make_gridworld_suite",
+    "DroneNavConfig",
+    "DroneNavEnv",
+    "DroneWorld",
+    "default_drone_worlds",
+    "make_dronenav_suite",
+]

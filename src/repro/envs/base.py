@@ -1,0 +1,44 @@
+"""Environment protocol shared by every navigation task."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+import numpy as np
+
+
+@dataclass
+class StepResult:
+    """Outcome of a single environment step."""
+
+    observation: np.ndarray
+    reward: float
+    done: bool
+    info: Dict[str, object] = field(default_factory=dict)
+
+
+class Environment:
+    """Minimal episodic environment interface (gym-like, dependency free)."""
+
+    action_count: int = 0
+    observation_shape: tuple = ()
+
+    def reset(self) -> np.ndarray:
+        """Start a new episode and return the initial observation."""
+        raise NotImplementedError
+
+    def step(self, action: int) -> StepResult:
+        """Apply ``action`` and return the transition result."""
+        raise NotImplementedError
+
+    def seed(self, seed: int) -> None:
+        """Reseed any stochastic elements of the environment."""
+
+    def validate_action(self, action: int) -> int:
+        action = int(action)
+        if not 0 <= action < self.action_count:
+            raise ValueError(
+                f"action {action} outside the action space of size {self.action_count}"
+            )
+        return action

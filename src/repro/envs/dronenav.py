@@ -1,0 +1,294 @@
+"""DroneNav: the paper's large-scale drone navigation workload.
+
+The paper uses the PEDRA platform (Unreal Engine + AirSim) in which a drone
+flies through 3D photo-realistic environments, observing 320×180 RGB frames
+and choosing among 25 perception-based actions; a depth-based reward keeps it
+away from obstacles and the metric is the *safe flight distance* — the average
+distance flown before a collision.
+
+That stack is not available offline, so this module implements the closest
+synthetic equivalent that exercises the same code paths:
+
+* a 2.5D corridor world populated with cylindrical obstacles,
+* a ray-cast front-facing depth camera whose readings are expanded into a
+  small multi-channel image (so the policy remains a CNN over camera frames),
+* a 25-element action space formed by 5 yaw changes × 5 speed factors,
+* a depth-shaped reward that rewards keeping clear space ahead and penalizes
+  collisions, and
+* episode termination on collision with the safe flight distance as the
+  headline metric.
+
+The substitution preserves the sequential decision process, the CNN policy
+topology, the reward shaping and the collision-terminated metric the paper's
+fault analysis depends on (see DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.envs.base import Environment, StepResult
+from repro.utils.rng import as_rng
+
+# 25-action space: 5 yaw deltas (degrees) x 5 speed factors.
+YAW_DELTAS_DEG: Tuple[float, ...] = (-30.0, -15.0, 0.0, 15.0, 30.0)
+SPEED_FACTORS: Tuple[float, ...] = (0.5, 0.75, 1.0, 1.25, 1.5)
+
+
+def decode_action(action: int) -> Tuple[float, float]:
+    """Map an action index to (yaw delta in radians, speed factor)."""
+    if not 0 <= action < len(YAW_DELTAS_DEG) * len(SPEED_FACTORS):
+        raise ValueError(f"action {action} outside the 25-element action space")
+    yaw_index, speed_index = divmod(action, len(SPEED_FACTORS))
+    return np.deg2rad(YAW_DELTAS_DEG[yaw_index]), SPEED_FACTORS[speed_index]
+
+
+@dataclass
+class DroneWorld:
+    """A corridor world with cylindrical obstacles.
+
+    The corridor runs along +x from 0 to ``length`` with walls at
+    ``y = ±half_width``.  Obstacles are circles of radius ``obstacle_radius``.
+    """
+
+    length: float = 900.0
+    half_width: float = 25.0
+    obstacle_radius: float = 2.5
+    obstacles: np.ndarray = field(default_factory=lambda: np.zeros((0, 2)))
+    name: str = "world"
+
+    def __post_init__(self) -> None:
+        self.obstacles = np.asarray(self.obstacles, dtype=np.float64).reshape(-1, 2)
+        if self.length <= 0 or self.half_width <= 0 or self.obstacle_radius <= 0:
+            raise ValueError("world dimensions must be positive")
+
+    def collides(self, position: np.ndarray, drone_radius: float) -> bool:
+        """True if the drone at ``position`` hits an obstacle or a wall."""
+        x, y = float(position[0]), float(position[1])
+        if abs(y) > self.half_width - drone_radius:
+            return True
+        if self.obstacles.size == 0:
+            return False
+        distances = np.hypot(self.obstacles[:, 0] - x, self.obstacles[:, 1] - y)
+        return bool((distances < self.obstacle_radius + drone_radius).any())
+
+    def ray_depths(
+        self,
+        position: np.ndarray,
+        heading: float,
+        angles: np.ndarray,
+        max_range: float,
+    ) -> np.ndarray:
+        """Distance to the nearest obstruction along each ray.
+
+        ``angles`` are offsets (radians) from ``heading``.  Rays hit either a
+        cylindrical obstacle or one of the corridor walls; readings are capped
+        at ``max_range``.
+        """
+        x, y = float(position[0]), float(position[1])
+        directions = np.stack(
+            [np.cos(heading + angles), np.sin(heading + angles)], axis=1
+        )  # (rays, 2)
+        depths = np.full(angles.shape[0], max_range, dtype=np.float64)
+
+        # Wall intersections: y + t * dy = ±half_width  ->  t = (±hw - y) / dy.
+        dy = directions[:, 1]
+        with np.errstate(divide="ignore", invalid="ignore"):
+            t_top = np.where(dy > 1e-12, (self.half_width - y) / dy, np.inf)
+            t_bottom = np.where(dy < -1e-12, (-self.half_width - y) / dy, np.inf)
+        wall_t = np.minimum(t_top, t_bottom)
+        depths = np.minimum(depths, np.clip(wall_t, 0.0, max_range))
+
+        if self.obstacles.size:
+            # Circle intersection per ray: solve |p + t*d - c|^2 = r^2.
+            rel = self.obstacles[None, :, :] - np.array([[x, y]])[:, None, :]  # (1, obs, 2)
+            d = directions[:, None, :]  # (rays, 1, 2)
+            b = np.sum(d * rel, axis=2)  # (rays, obs)
+            c = np.sum(rel * rel, axis=2) - self.obstacle_radius**2
+            disc = b * b - c
+            hit = disc >= 0.0
+            sqrt_disc = np.sqrt(np.where(hit, disc, 0.0))
+            t_obstacle = np.where(hit, b - sqrt_disc, np.inf)
+            t_obstacle = np.where(t_obstacle >= 0.0, t_obstacle, np.inf)
+            nearest = t_obstacle.min(axis=1)
+            depths = np.minimum(depths, np.clip(nearest, 0.0, max_range))
+        return depths
+
+
+def generate_world(
+    seed: int,
+    length: float = 900.0,
+    half_width: float = 25.0,
+    obstacle_density: float = 0.0015,
+    obstacle_radius: float = 2.5,
+    keepout: float = 12.0,
+    name: Optional[str] = None,
+) -> DroneWorld:
+    """Generate a corridor world with randomly placed obstacles.
+
+    ``obstacle_density`` is obstacles per square metre of corridor area.  A
+    keep-out region around the start pose guarantees the drone never spawns in
+    contact with an obstacle.
+    """
+    rng = as_rng(seed)
+    area = length * 2 * half_width
+    count = int(round(obstacle_density * area))
+    xs = rng.uniform(keepout, length, size=count)
+    ys = rng.uniform(-half_width + obstacle_radius, half_width - obstacle_radius, size=count)
+    obstacles = np.stack([xs, ys], axis=1)
+    return DroneWorld(
+        length=length,
+        half_width=half_width,
+        obstacle_radius=obstacle_radius,
+        obstacles=obstacles,
+        name=name or f"world-{seed}",
+    )
+
+
+def default_drone_worlds(count: int = 4, **kwargs) -> List[DroneWorld]:
+    """The canonical per-drone worlds used throughout the reproduction."""
+    return [generate_world(seed=2000 + index, name=f"drone-env-{index}", **kwargs) for index in range(count)]
+
+
+@dataclass(frozen=True)
+class DroneNavConfig:
+    """Tunable parameters of the drone navigation environment."""
+
+    image_width: int = 32
+    image_height: int = 18
+    field_of_view_deg: float = 90.0
+    max_range: float = 40.0
+    base_speed: float = 2.0
+    drone_radius: float = 1.0
+    max_steps: int = 400
+    crash_penalty: float = -10.0
+
+    def __post_init__(self) -> None:
+        if self.image_width <= 1 or self.image_height <= 0:
+            raise ValueError("image dimensions must be positive (width > 1)")
+        if not 0.0 < self.field_of_view_deg <= 180.0:
+            raise ValueError("field of view must be in (0, 180] degrees")
+        if self.max_range <= 0 or self.base_speed <= 0 or self.drone_radius <= 0:
+            raise ValueError("ranges, speeds and radii must be positive")
+        if self.max_steps <= 0:
+            raise ValueError("max_steps must be positive")
+
+
+class DroneNavEnv(Environment):
+    """Corridor-flight environment with a ray-cast camera observation."""
+
+    action_count = len(YAW_DELTAS_DEG) * len(SPEED_FACTORS)
+
+    def __init__(self, world: DroneWorld, config: Optional[DroneNavConfig] = None) -> None:
+        self.world = world
+        self.config = config or DroneNavConfig()
+        self.observation_shape = (3, self.config.image_height, self.config.image_width)
+        half_fov = np.deg2rad(self.config.field_of_view_deg) / 2.0
+        self._ray_angles = np.linspace(-half_fov, half_fov, self.config.image_width)
+        self._position = np.zeros(2)
+        self._heading = 0.0
+        self._steps = 0
+        self._distance = 0.0
+        self._done = True
+
+    @property
+    def flight_distance(self) -> float:
+        """Distance flown so far in the current episode (metres)."""
+        return self._distance
+
+    @property
+    def position(self) -> np.ndarray:
+        return self._position.copy()
+
+    @property
+    def heading(self) -> float:
+        return self._heading
+
+    def reset(self) -> np.ndarray:
+        self._position = np.array([0.0, 0.0])
+        self._heading = 0.0
+        self._steps = 0
+        self._distance = 0.0
+        self._done = False
+        return self.observe()
+
+    def observe(self) -> np.ndarray:
+        """Expand the ray-cast depth profile into a (3, H, W) camera frame.
+
+        Channel 0 encodes normalized depth per image column (tiled vertically
+        with a mild vertical falloff, mimicking ground/sky structure),
+        channel 1 encodes obstacle proximity (inverted depth) and channel 2
+        encodes the lateral position of the drone within the corridor, giving
+        the CNN the same kind of spatial cues an RGB render would provide.
+        """
+        config = self.config
+        depths = self.world.ray_depths(
+            self._position, self._heading, self._ray_angles, config.max_range
+        )
+        normalized = depths / config.max_range  # (W,)
+        vertical = np.linspace(1.0, 0.6, config.image_height).reshape(-1, 1)  # (H, 1)
+        depth_plane = vertical * normalized[None, :]
+        proximity_plane = vertical * (1.0 - normalized)[None, :]
+        lateral = (self._position[1] + self.world.half_width) / (2 * self.world.half_width)
+        lateral_plane = np.full((config.image_height, config.image_width), lateral)
+        return np.stack([depth_plane, proximity_plane, lateral_plane]).astype(np.float64)
+
+    def _front_clearance(self, depths: np.ndarray) -> float:
+        """Mean depth over the central third of the field of view."""
+        width = depths.shape[0]
+        lo = width // 3
+        hi = width - lo
+        return float(depths[lo:hi].mean())
+
+    def step(self, action: int) -> StepResult:
+        if self._done:
+            raise RuntimeError("step called on a finished episode; call reset() first")
+        action = self.validate_action(action)
+        config = self.config
+        yaw_delta, speed_factor = decode_action(action)
+        self._heading = float(np.clip(self._heading + yaw_delta, -np.pi / 2, np.pi / 2))
+        speed = config.base_speed * speed_factor
+        displacement = speed * np.array([np.cos(self._heading), np.sin(self._heading)])
+        self._position = self._position + displacement
+        self._steps += 1
+        travelled = float(np.hypot(*displacement))
+        info = {
+            "position": self._position.copy(),
+            "heading": self._heading,
+            "steps": self._steps,
+            "flight_distance": self._distance,
+        }
+        if self.world.collides(self._position, config.drone_radius):
+            self._done = True
+            info["outcome"] = "crash"
+            info["flight_distance"] = self._distance
+            return StepResult(self.observe(), config.crash_penalty, True, info)
+        self._distance += travelled
+        info["flight_distance"] = self._distance
+        depths = self.world.ray_depths(
+            self._position, self._heading, self._ray_angles, config.max_range
+        )
+        clearance = self._front_clearance(depths) / config.max_range
+        # Depth-based reward: stay away from obstacles, with a small bonus for
+        # making forward progress along the corridor.
+        progress = displacement[0] / (config.base_speed * max(SPEED_FACTORS))
+        reward = clearance - 0.5 + 0.2 * progress
+        if self._steps >= config.max_steps or self._position[0] >= self.world.length:
+            self._done = True
+            info["outcome"] = "survived"
+            return StepResult(self.observe(), reward, True, info)
+        info["outcome"] = "fly"
+        return StepResult(self.observe(), reward, False, info)
+
+
+def make_dronenav_suite(
+    drone_count: int = 4,
+    config: Optional[DroneNavConfig] = None,
+    **world_kwargs,
+) -> List[DroneNavEnv]:
+    """One DroneNav environment per drone, each over its own obstacle world."""
+    worlds = default_drone_worlds(count=drone_count, **world_kwargs)
+    return [DroneNavEnv(world, config=config) for world in worlds]

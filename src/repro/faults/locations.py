@@ -1,0 +1,84 @@
+"""Fault locations and targets within the FRL system.
+
+The paper considers three physical fault sources — server, communication and
+agent — and groups them into two effective classes for analysis:
+
+* **agent faults**: faults in an agent's local data and in the parameters the
+  server receives from that agent (agent memory + agent-to-server link).
+  They affect a single agent and are smoothed away by the server's averaging.
+* **server faults**: faults in the server's data and in the parameters every
+  agent receives back (server memory + server-to-agent link).  They affect all
+  agents simultaneously.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class FaultLocation(Enum):
+    """Physical location of the fault source."""
+
+    AGENT = "agent"
+    SERVER = "server"
+    AGENT_TO_SERVER = "agent_to_server"
+    SERVER_TO_AGENT = "server_to_agent"
+
+    @classmethod
+    def parse(cls, value) -> "FaultLocation":
+        if isinstance(value, cls):
+            return value
+        key = str(value).lower().replace("-", "_")
+        aliases = {
+            "agent": cls.AGENT,
+            "server": cls.SERVER,
+            "agent_to_server": cls.AGENT_TO_SERVER,
+            "uplink": cls.AGENT_TO_SERVER,
+            "server_to_agent": cls.SERVER_TO_AGENT,
+            "downlink": cls.SERVER_TO_AGENT,
+            "communication_up": cls.AGENT_TO_SERVER,
+            "communication_down": cls.SERVER_TO_AGENT,
+        }
+        if key not in aliases:
+            raise KeyError(f"unknown fault location {value!r}")
+        return aliases[key]
+
+
+class FaultTarget(Enum):
+    """Which tensors are corrupted."""
+
+    WEIGHTS = "weights"
+    ACTIVATIONS = "activations"
+    COMMUNICATED_PARAMETERS = "communicated_parameters"
+
+    @classmethod
+    def parse(cls, value) -> "FaultTarget":
+        if isinstance(value, cls):
+            return value
+        key = str(value).lower()
+        aliases = {
+            "weights": cls.WEIGHTS,
+            "weight": cls.WEIGHTS,
+            "activations": cls.ACTIVATIONS,
+            "activation": cls.ACTIVATIONS,
+            "feature_maps": cls.ACTIVATIONS,
+            "communicated_parameters": cls.COMMUNICATED_PARAMETERS,
+            "communication": cls.COMMUNICATED_PARAMETERS,
+            "parameters": cls.COMMUNICATED_PARAMETERS,
+        }
+        if key not in aliases:
+            raise KeyError(f"unknown fault target {value!r}")
+        return aliases[key]
+
+
+def effective_class(location: FaultLocation) -> str:
+    """Map a physical location to the paper's two analysis classes.
+
+    Returns ``"agent"`` for faults that enter through a single agent's data
+    (agent memory, agent-to-server link) and ``"server"`` for faults that enter
+    through the server's data (server memory, server-to-agent link).
+    """
+    location = FaultLocation.parse(location)
+    if location in (FaultLocation.AGENT, FaultLocation.AGENT_TO_SERVER):
+        return "agent"
+    return "server"

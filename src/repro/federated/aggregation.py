@@ -1,0 +1,95 @@
+"""Smoothing-average parameter aggregation (paper Eq. 4 context).
+
+After each communication round every agent ``i`` uploads its policy
+``theta_i``; the server produces a personalized new parameter set
+
+    theta_i_plus = alpha * theta_i + beta * sum_{j != i} theta_j,
+
+with ``beta = (1 - alpha) / (n - 1)``.  As training proceeds the smoothing
+constants converge to ``alpha = beta = 1/n``, at which point every agent
+receives the plain average (consensus) policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+StateDict = Dict[str, np.ndarray]
+
+
+def _check_states(states: Sequence[StateDict]) -> None:
+    if not states:
+        raise ValueError("need at least one agent state to aggregate")
+    reference = set(states[0])
+    for index, state in enumerate(states[1:], start=1):
+        if set(state) != reference:
+            raise KeyError(f"agent {index} state keys do not match agent 0")
+
+
+def average_states(states: Sequence[StateDict]) -> StateDict:
+    """Plain element-wise average of agent states (the consensus policy)."""
+    _check_states(states)
+    result: StateDict = {}
+    for name in states[0]:
+        result[name] = np.mean([np.asarray(state[name], dtype=np.float64) for state in states], axis=0)
+    return result
+
+
+def smoothing_average(states: Sequence[StateDict], alpha: float) -> List[StateDict]:
+    """Personalized smoothing average for every agent.
+
+    Returns one new state per agent: ``alpha`` weight on the agent's own
+    upload and ``(1 - alpha) / (n - 1)`` on every other agent's upload.  For a
+    single agent the upload is returned unchanged (there is nothing to mix).
+    """
+    _check_states(states)
+    n = len(states)
+    if n == 1:
+        return [{name: np.array(value, copy=True) for name, value in states[0].items()}]
+    if not 0.0 < alpha <= 1.0:
+        raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+    beta = (1.0 - alpha) / (n - 1)
+    totals = {
+        name: np.sum([np.asarray(state[name], dtype=np.float64) for state in states], axis=0)
+        for name in states[0]
+    }
+    new_states: List[StateDict] = []
+    for state in states:
+        mixed: StateDict = {}
+        for name in state:
+            own = np.asarray(state[name], dtype=np.float64)
+            others = totals[name] - own
+            mixed[name] = alpha * own + beta * others
+        new_states.append(mixed)
+    return new_states
+
+
+@dataclass(frozen=True)
+class AlphaSchedule:
+    """Decay of the smoothing weight ``alpha_k`` toward the consensus ``1/n``.
+
+    ``alpha_k = 1/n + (alpha_0 - 1/n) * decay^k`` where ``k`` counts
+    communication rounds, so early rounds favour each agent's own policy and
+    late rounds approach plain averaging (the guaranteed limit in the paper).
+    """
+
+    initial_alpha: float = 0.7
+    decay: float = 0.97
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.initial_alpha <= 1.0:
+            raise ValueError(f"initial_alpha must be in (0, 1], got {self.initial_alpha}")
+        if not 0.0 < self.decay <= 1.0:
+            raise ValueError(f"decay must be in (0, 1], got {self.decay}")
+
+    def alpha(self, round_index: int, agent_count: int) -> float:
+        if agent_count <= 0:
+            raise ValueError(f"agent_count must be positive, got {agent_count}")
+        if round_index < 0:
+            raise ValueError(f"round_index must be non-negative, got {round_index}")
+        limit = 1.0 / agent_count
+        start = max(self.initial_alpha, limit)
+        return limit + (start - limit) * (self.decay**round_index)

@@ -1,0 +1,104 @@
+"""Training callbacks: the hook points for fault injection and mitigation.
+
+The FRL trainer calls these hooks at well-defined points of every episode and
+communication round.  Fault injectors implement the ``transform_*`` hooks to
+corrupt parameters at the corresponding location; mitigation schemes implement
+``on_round_end`` to detect reward drops and restore checkpoints.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Sequence
+
+import numpy as np
+
+from repro.rl.base import EpisodeStats
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checking only
+    from repro.federated.system import FRLSystem
+
+StateDict = Dict[str, np.ndarray]
+
+
+class TrainingCallback:
+    """No-op base class; override only the hooks you need."""
+
+    def on_training_start(self, system: "FRLSystem") -> None:
+        """Called once before the first episode."""
+
+    def on_episode_start(self, system: "FRLSystem", episode: int) -> None:
+        """Called before agents run their local episodes."""
+
+    def on_agent_episode_end(
+        self, system: "FRLSystem", episode: int, agent_index: int, stats: EpisodeStats
+    ) -> None:
+        """Called after each agent's local episode."""
+
+    def transform_upload(
+        self, system: "FRLSystem", episode: int, agent_index: int, state: StateDict
+    ) -> StateDict:
+        """Transform parameters the server receives from ``agent_index``."""
+        return state
+
+    def transform_server_state(
+        self, system: "FRLSystem", episode: int, state: StateDict
+    ) -> StateDict:
+        """Transform the server's aggregated (consensus) parameters."""
+        return state
+
+    def transform_broadcast(
+        self, system: "FRLSystem", episode: int, agent_index: int, state: StateDict
+    ) -> StateDict:
+        """Transform parameters ``agent_index`` receives from the server."""
+        return state
+
+    def on_round_end(self, system: "FRLSystem", episode: int, communicated: bool) -> None:
+        """Called at the very end of every episode (after any communication)."""
+
+    def on_training_end(self, system: "FRLSystem") -> None:
+        """Called once after the last episode."""
+
+
+class CallbackList(TrainingCallback):
+    """Compose multiple callbacks; transforms are applied in order."""
+
+    def __init__(self, callbacks: Sequence[TrainingCallback] = ()) -> None:
+        self.callbacks: List[TrainingCallback] = list(callbacks)
+
+    def append(self, callback: TrainingCallback) -> None:
+        self.callbacks.append(callback)
+
+    def on_training_start(self, system) -> None:
+        for callback in self.callbacks:
+            callback.on_training_start(system)
+
+    def on_episode_start(self, system, episode) -> None:
+        for callback in self.callbacks:
+            callback.on_episode_start(system, episode)
+
+    def on_agent_episode_end(self, system, episode, agent_index, stats) -> None:
+        for callback in self.callbacks:
+            callback.on_agent_episode_end(system, episode, agent_index, stats)
+
+    def transform_upload(self, system, episode, agent_index, state):
+        for callback in self.callbacks:
+            state = callback.transform_upload(system, episode, agent_index, state)
+        return state
+
+    def transform_server_state(self, system, episode, state):
+        for callback in self.callbacks:
+            state = callback.transform_server_state(system, episode, state)
+        return state
+
+    def transform_broadcast(self, system, episode, agent_index, state):
+        for callback in self.callbacks:
+            state = callback.transform_broadcast(system, episode, agent_index, state)
+        return state
+
+    def on_round_end(self, system, episode, communicated) -> None:
+        for callback in self.callbacks:
+            callback.on_round_end(system, episode, communicated)
+
+    def on_training_end(self, system) -> None:
+        for callback in self.callbacks:
+            callback.on_training_end(system)

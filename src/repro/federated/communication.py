@@ -1,0 +1,88 @@
+"""Agent-server communication channel with optional fault injection.
+
+Transient faults on the wireless link (interference, distortion,
+synchronization errors) corrupt the shared parameters in transit.  The channel
+models both directions (agent-to-server uplink and server-to-agent downlink)
+and counts messages/bytes so communication-cost trade-offs (paper Fig. 6b)
+can be reported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+from repro.faults.ber import BitErrorRate
+from repro.faults.injector import FaultInjector
+
+StateDict = Dict[str, np.ndarray]
+
+
+@dataclass
+class CommunicationStats:
+    """Message and parameter-volume counters for one channel."""
+
+    uplink_messages: int = 0
+    downlink_messages: int = 0
+    uplink_parameters: int = 0
+    downlink_parameters: int = 0
+    corrupted_messages: int = 0
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def total_messages(self) -> int:
+        return self.uplink_messages + self.downlink_messages
+
+    @property
+    def total_parameters(self) -> int:
+        return self.uplink_parameters + self.downlink_parameters
+
+
+class CommunicationChannel:
+    """Bidirectional parameter channel between agents and the server."""
+
+    def __init__(
+        self,
+        uplink_injector: Optional[FaultInjector] = None,
+        downlink_injector: Optional[FaultInjector] = None,
+        uplink_ber: Union[float, BitErrorRate] = 0.0,
+        downlink_ber: Union[float, BitErrorRate] = 0.0,
+    ) -> None:
+        self.uplink_injector = uplink_injector
+        self.downlink_injector = downlink_injector
+        self.uplink_ber = (
+            uplink_ber if isinstance(uplink_ber, BitErrorRate) else BitErrorRate(float(uplink_ber))
+        )
+        self.downlink_ber = (
+            downlink_ber
+            if isinstance(downlink_ber, BitErrorRate)
+            else BitErrorRate(float(downlink_ber))
+        )
+        self.stats = CommunicationStats()
+
+    @staticmethod
+    def _parameter_count(state: StateDict) -> int:
+        return int(sum(np.asarray(value).size for value in state.values()))
+
+    def uplink(self, state: StateDict) -> StateDict:
+        """Transmit ``state`` from an agent to the server."""
+        self.stats.uplink_messages += 1
+        self.stats.uplink_parameters += self._parameter_count(state)
+        if self.uplink_injector is not None and self.uplink_ber.rate > 0.0:
+            self.stats.corrupted_messages += 1
+            return self.uplink_injector.corrupt_state_dict(state, self.uplink_ber)
+        return state
+
+    def downlink(self, state: StateDict) -> StateDict:
+        """Transmit ``state`` from the server to an agent."""
+        self.stats.downlink_messages += 1
+        self.stats.downlink_parameters += self._parameter_count(state)
+        if self.downlink_injector is not None and self.downlink_ber.rate > 0.0:
+            self.stats.corrupted_messages += 1
+            return self.downlink_injector.corrupt_state_dict(state, self.downlink_ber)
+        return state
+
+    def reset_stats(self) -> None:
+        self.stats = CommunicationStats()

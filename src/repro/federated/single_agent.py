@@ -1,0 +1,90 @@
+"""Single-agent baseline (no server, no parameter sharing).
+
+The paper contrasts the FRL system against a single-agent system trained only
+on the states its own environment exposes; the comparison underpins the
+multi-agent-resilience observation.  The baseline reuses the same agent,
+environment and callback machinery, but parameters never leave the agent.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.envs.base import Environment
+from repro.federated.agent import FederatedAgent
+from repro.federated.callbacks import CallbackList, TrainingCallback
+from repro.federated.system import TrainingLog
+from repro.rl.base import Agent
+
+StateDict = Dict[str, np.ndarray]
+
+
+class SingleAgentSystem:
+    """A single learning agent evaluated across one or more environments."""
+
+    def __init__(self, agent: Agent, envs: Sequence[Environment]) -> None:
+        if not envs:
+            raise ValueError("single-agent system needs at least one environment")
+        self.agent = agent
+        self.envs: List[Environment] = list(envs)
+        # Mirror the FRL wrapper so callbacks and mitigation treat both alike.
+        self.wrapper = FederatedAgent(index=0, agent=agent, env=self.envs[0])
+        self.agents = [self.wrapper]
+        self.log = TrainingLog()
+        self._env_cursor = 0
+
+    @property
+    def agent_count(self) -> int:
+        return 1
+
+    def _next_env(self) -> Environment:
+        env = self.envs[self._env_cursor % len(self.envs)]
+        self._env_cursor += 1
+        return env
+
+    def train(
+        self,
+        episodes: int,
+        callbacks: Optional[Sequence[TrainingCallback]] = None,
+        start_episode: int = 0,
+    ) -> TrainingLog:
+        """Train the single agent, cycling through its environments."""
+        if episodes < 0:
+            raise ValueError(f"episodes must be non-negative, got {episodes}")
+        callback = callbacks if isinstance(callbacks, CallbackList) else CallbackList(callbacks or [])
+        callback.on_training_start(self)
+        for offset in range(episodes):
+            episode = start_episode + offset
+            callback.on_episode_start(self, episode)
+            self.wrapper.env = self._next_env()
+            stats = self.wrapper.run_training_episode(episode)
+            self.log.episode_rewards.append([stats.total_reward])
+            callback.on_agent_episode_end(self, episode, 0, stats)
+            callback.on_round_end(self, episode, False)
+        callback.on_training_end(self)
+        return self.log
+
+    # -------------------------------------------------------------- evaluation
+    def average_success_rate(self, attempts: int = 20) -> float:
+        from repro.rl.rollout import evaluate_success_rate
+
+        rates = [evaluate_success_rate(self.agent, env, attempts=attempts) for env in self.envs]
+        return float(np.mean(rates))
+
+    def average_flight_distance(self, attempts: int = 3) -> float:
+        from repro.rl.rollout import evaluate_flight_distance
+
+        distances = [
+            evaluate_flight_distance(self.agent, env, attempts=attempts) for env in self.envs
+        ]
+        return float(np.mean(distances))
+
+    def consensus_state(self) -> StateDict:
+        return self.agent.state_dict()
+
+    def corrupt_agent(self, agent_index: int, corrupted_state: StateDict) -> None:
+        if agent_index != 0:
+            raise IndexError("single-agent system only has agent 0")
+        self.agent.load_state_dict(corrupted_state)

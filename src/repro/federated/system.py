@@ -1,0 +1,160 @@
+"""The FRL training orchestrator.
+
+One :class:`FRLSystem` owns ``n`` federated agents (each with its own
+environment), the server, the communication channel and the communication
+schedule.  Every episode each agent trains locally; at the end of episodes
+selected by the schedule the agents upload their parameters, the server
+aggregates them with the smoothing average and the new parameters are
+broadcast back.  Fault injection and mitigation plug in through
+:class:`repro.federated.callbacks.TrainingCallback` hooks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.federated.agent import FederatedAgent
+from repro.federated.callbacks import CallbackList, TrainingCallback
+from repro.federated.communication import CommunicationChannel
+from repro.federated.schedule import CommunicationSchedule
+from repro.federated.server import FederatedServer
+
+StateDict = Dict[str, np.ndarray]
+
+
+@dataclass
+class TrainingLog:
+    """Per-episode records collected during FRL training."""
+
+    episode_rewards: List[List[float]] = field(default_factory=list)
+    communication_episodes: List[int] = field(default_factory=list)
+    events: List[dict] = field(default_factory=list)
+
+    @property
+    def episodes(self) -> int:
+        return len(self.episode_rewards)
+
+    @property
+    def communication_count(self) -> int:
+        return len(self.communication_episodes)
+
+    def mean_reward(self, episode: int) -> float:
+        rewards = self.episode_rewards[episode]
+        return float(np.mean(rewards)) if rewards else 0.0
+
+    def agent_rewards(self, agent_index: int) -> List[float]:
+        return [rewards[agent_index] for rewards in self.episode_rewards]
+
+    def record_event(self, episode: int, kind: str, **details) -> None:
+        self.events.append({"episode": episode, "kind": kind, **details})
+
+
+class FRLSystem:
+    """Federated reinforcement learning system (agents + server + channel)."""
+
+    def __init__(
+        self,
+        agents: Sequence[FederatedAgent],
+        server: Optional[FederatedServer] = None,
+        channel: Optional[CommunicationChannel] = None,
+        schedule: Optional[CommunicationSchedule] = None,
+    ) -> None:
+        if not agents:
+            raise ValueError("an FRL system needs at least one agent")
+        self.agents: List[FederatedAgent] = list(agents)
+        self.server = server or FederatedServer()
+        self.channel = channel or CommunicationChannel()
+        self.schedule = schedule or CommunicationSchedule()
+        self.log = TrainingLog()
+
+    @property
+    def agent_count(self) -> int:
+        return len(self.agents)
+
+    # ---------------------------------------------------------------- training
+    def train(
+        self,
+        episodes: int,
+        callbacks: Optional[Sequence[TrainingCallback]] = None,
+        start_episode: int = 0,
+    ) -> TrainingLog:
+        """Run ``episodes`` federated training episodes.
+
+        ``start_episode`` offsets the episode index seen by schedules and
+        callbacks, so training can be resumed (e.g. fine-tuning after offline
+        pre-training, or continuing after a fault-recovery experiment).
+        """
+        if episodes < 0:
+            raise ValueError(f"episodes must be non-negative, got {episodes}")
+        callback = callbacks if isinstance(callbacks, CallbackList) else CallbackList(callbacks or [])
+        callback.on_training_start(self)
+        for offset in range(episodes):
+            episode = start_episode + offset
+            callback.on_episode_start(self, episode)
+            rewards: List[float] = []
+            for agent in self.agents:
+                stats = agent.run_training_episode(episode)
+                rewards.append(stats.total_reward)
+                callback.on_agent_episode_end(self, episode, agent.index, stats)
+            self.log.episode_rewards.append(rewards)
+            communicated = False
+            if self.schedule.should_communicate(episode) and self.agent_count > 1:
+                self.communication_round(episode, callback)
+                communicated = True
+            callback.on_round_end(self, episode, communicated)
+        callback.on_training_end(self)
+        return self.log
+
+    def communication_round(self, episode: int, callback: Optional[TrainingCallback] = None) -> None:
+        """One upload → aggregate → broadcast round with fault hooks."""
+        callback = callback or CallbackList()
+        uploads: List[StateDict] = []
+        for agent in self.agents:
+            state = self.channel.uplink(agent.upload_state())
+            state = callback.transform_upload(self, episode, agent.index, state)
+            uploads.append(state)
+        broadcasts = self.server.aggregate(uploads)
+        consensus = callback.transform_server_state(self, episode, self.server.consensus)
+        if consensus is not self.server.consensus:
+            # A server fault (or recovery) replaced the consensus: rebuild the
+            # per-agent broadcasts from the corrupted/restored consensus so the
+            # fault reaches every agent, as in the paper's server-fault model.
+            self.server.set_consensus(consensus)
+            broadcasts = self.server.broadcast_from_consensus(self.agent_count)
+        for agent, broadcast in zip(self.agents, broadcasts):
+            state = self.channel.downlink(broadcast)
+            state = callback.transform_broadcast(self, episode, agent.index, state)
+            agent.receive_state(state)
+        self.log.communication_episodes.append(episode)
+
+    # -------------------------------------------------------------- evaluation
+    def average_success_rate(self, attempts: int = 20) -> float:
+        """Mean GridWorld success rate across agents (paper's SR metric)."""
+        return float(np.mean([agent.success_rate(attempts=attempts) for agent in self.agents]))
+
+    def average_flight_distance(self, attempts: int = 3) -> float:
+        """Mean DroneNav safe flight distance across agents (metres)."""
+        return float(np.mean([agent.flight_distance(attempts=attempts) for agent in self.agents]))
+
+    def consensus_state(self) -> StateDict:
+        """The server's consensus policy (averaging current agents if needed)."""
+        if self.server.consensus is not None:
+            return self.server.consensus
+        from repro.federated.aggregation import average_states
+
+        return average_states([agent.upload_state() for agent in self.agents])
+
+    # -------------------------------------------------------------- fault entry
+    def corrupt_agent(self, agent_index: int, corrupted_state: StateDict) -> None:
+        """Overwrite one agent's policy with externally corrupted parameters."""
+        self.agents[agent_index].receive_state(corrupted_state)
+
+    def corrupt_all_agents(self, corrupted_states: Sequence[StateDict]) -> None:
+        """Overwrite every agent's policy (server-fault propagation)."""
+        if len(corrupted_states) != self.agent_count:
+            raise ValueError("need one corrupted state per agent")
+        for agent, state in zip(self.agents, corrupted_states):
+            agent.receive_state(state)

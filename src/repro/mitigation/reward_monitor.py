@@ -1,0 +1,117 @@
+"""Reward-drop fault detection (training-time symptom detector).
+
+The detector works on an application-level metric rather than bit-level
+comparison: a fault that does not degrade the agents' cumulative rewards is
+benign for the navigation task and should not trigger recovery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+
+@dataclass(frozen=True)
+class DetectionEvent:
+    """A detected fault."""
+
+    episode: int
+    kind: str  # "agent" or "server"
+    agent_indices: tuple
+
+    def __str__(self) -> str:
+        agents = ",".join(str(index) for index in self.agent_indices)
+        return f"{self.kind} fault detected at episode {self.episode} (agents: {agents})"
+
+
+@dataclass
+class _AgentMonitor:
+    """Per-agent running baseline and consecutive-drop counter."""
+
+    baseline: Optional[float] = None
+    consecutive_drops: int = 0
+    history: List[float] = field(default_factory=list)
+
+
+class RewardDropDetector:
+    """Detects faults from sustained cumulative-reward drops.
+
+    Parameters mirror the paper: a drop of more than ``drop_percent`` below
+    the agent's running baseline for ``consecutive_episodes`` episodes in a
+    row flags that agent.  If more than half of the agents are flagged at the
+    same episode, the fault is attributed to the server.
+    """
+
+    def __init__(
+        self,
+        agent_count: int,
+        drop_percent: float = 25.0,
+        consecutive_episodes: int = 50,
+        baseline_window: int = 20,
+        min_baseline_magnitude: float = 0.5,
+    ) -> None:
+        if agent_count <= 0:
+            raise ValueError(f"agent_count must be positive, got {agent_count}")
+        if drop_percent <= 0:
+            raise ValueError(f"drop_percent must be positive, got {drop_percent}")
+        if consecutive_episodes <= 0:
+            raise ValueError(f"consecutive_episodes must be positive, got {consecutive_episodes}")
+        if baseline_window <= 0:
+            raise ValueError(f"baseline_window must be positive, got {baseline_window}")
+        self.agent_count = agent_count
+        self.drop_percent = drop_percent
+        self.consecutive_episodes = consecutive_episodes
+        self.baseline_window = baseline_window
+        self.min_baseline_magnitude = min_baseline_magnitude
+        self._monitors: Dict[int, _AgentMonitor] = {
+            index: _AgentMonitor() for index in range(agent_count)
+        }
+        self.events: List[DetectionEvent] = []
+
+    def _update_monitor(self, monitor: _AgentMonitor, reward: float) -> bool:
+        """Update one agent's monitor; return True if it is currently flagged."""
+        monitor.history.append(reward)
+        window = monitor.history[-self.baseline_window :]
+        healthy_baseline = max(window) if window else reward
+        if monitor.baseline is None:
+            monitor.baseline = healthy_baseline
+        # The baseline tracks the best recent performance but never sinks with
+        # a faulty phase faster than the window forgets it.
+        monitor.baseline = max(healthy_baseline, monitor.baseline * 0.999)
+        reference = max(abs(monitor.baseline), self.min_baseline_magnitude)
+        threshold = monitor.baseline - reference * (self.drop_percent / 100.0)
+        if reward < threshold:
+            monitor.consecutive_drops += 1
+        else:
+            monitor.consecutive_drops = 0
+        return monitor.consecutive_drops >= self.consecutive_episodes
+
+    def observe(self, episode: int, rewards: Sequence[float]) -> Optional[DetectionEvent]:
+        """Feed one episode's per-agent rewards; returns an event if detected."""
+        if len(rewards) != self.agent_count:
+            raise ValueError(
+                f"expected {self.agent_count} rewards, got {len(rewards)}"
+            )
+        flagged = []
+        for index, reward in enumerate(rewards):
+            if self._update_monitor(self._monitors[index], float(reward)):
+                flagged.append(index)
+        if not flagged:
+            return None
+        kind = "server" if len(flagged) > self.agent_count / 2 else "agent"
+        event = DetectionEvent(episode=episode, kind=kind, agent_indices=tuple(flagged))
+        self.events.append(event)
+        # Reset the counters of the flagged agents so recovery has time to act
+        # before the same fault is reported again.
+        for index in flagged:
+            self._monitors[index].consecutive_drops = 0
+        return event
+
+    def reset_agent(self, agent_index: int) -> None:
+        """Forget an agent's monitor state (after recovery)."""
+        self._monitors[agent_index] = _AgentMonitor()
+
+    def reset(self) -> None:
+        for index in range(self.agent_count):
+            self.reset_agent(index)
+        self.events.clear()

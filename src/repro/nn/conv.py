@@ -1,0 +1,219 @@
+"""Convolution and pooling layers (im2col implementation).
+
+The drone navigation policy in the paper uses three convolution layers and two
+fully connected layers over front-camera images.  These layers implement the
+forward and backward passes with an im2col/col2im formulation, which keeps the
+hot loops inside numpy matrix products.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.nn.init import he_uniform, zeros_init
+from repro.nn.module import Module
+from repro.nn.parameter import Parameter
+from repro.utils.rng import as_rng
+
+
+def _output_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    out = (size + 2 * padding - kernel) // stride + 1
+    if out <= 0:
+        raise ValueError(
+            f"convolution produces non-positive output size for input={size}, "
+            f"kernel={kernel}, stride={stride}, padding={padding}"
+        )
+    return out
+
+
+def im2col(
+    inputs: np.ndarray, kernel_h: int, kernel_w: int, stride: int, padding: int
+) -> Tuple[np.ndarray, Tuple[int, int]]:
+    """Unfold image patches into columns.
+
+    ``inputs`` has shape ``(batch, channels, height, width)``.  Returns an
+    array of shape ``(batch * out_h * out_w, channels * kernel_h * kernel_w)``
+    plus the output spatial size.
+    """
+    batch, channels, height, width = inputs.shape
+    out_h = _output_size(height, kernel_h, stride, padding)
+    out_w = _output_size(width, kernel_w, stride, padding)
+    padded = np.pad(
+        inputs, ((0, 0), (0, 0), (padding, padding), (padding, padding)), mode="constant"
+    )
+    columns = np.empty((batch, channels, kernel_h, kernel_w, out_h, out_w), dtype=inputs.dtype)
+    for row in range(kernel_h):
+        row_end = row + stride * out_h
+        for col in range(kernel_w):
+            col_end = col + stride * out_w
+            columns[:, :, row, col, :, :] = padded[:, :, row:row_end:stride, col:col_end:stride]
+    columns = columns.transpose(0, 4, 5, 1, 2, 3).reshape(
+        batch * out_h * out_w, channels * kernel_h * kernel_w
+    )
+    return columns, (out_h, out_w)
+
+
+def col2im(
+    columns: np.ndarray,
+    input_shape: Tuple[int, int, int, int],
+    kernel_h: int,
+    kernel_w: int,
+    stride: int,
+    padding: int,
+) -> np.ndarray:
+    """Fold columns back into an image, summing overlapping contributions."""
+    batch, channels, height, width = input_shape
+    out_h = _output_size(height, kernel_h, stride, padding)
+    out_w = _output_size(width, kernel_w, stride, padding)
+    columns = columns.reshape(batch, out_h, out_w, channels, kernel_h, kernel_w).transpose(
+        0, 3, 4, 5, 1, 2
+    )
+    padded = np.zeros((batch, channels, height + 2 * padding, width + 2 * padding))
+    for row in range(kernel_h):
+        row_end = row + stride * out_h
+        for col in range(kernel_w):
+            col_end = col + stride * out_w
+            padded[:, :, row:row_end:stride, col:col_end:stride] += columns[:, :, row, col, :, :]
+    if padding == 0:
+        return padded
+    return padded[:, :, padding:-padding, padding:-padding]
+
+
+class Conv2d(Module):
+    """2D convolution over ``(batch, channels, height, width)`` inputs."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        bias: bool = True,
+        rng=None,
+    ) -> None:
+        super().__init__()
+        if in_channels <= 0 or out_channels <= 0 or kernel_size <= 0:
+            raise ValueError("channels and kernel_size must be positive")
+        if stride <= 0 or padding < 0:
+            raise ValueError("stride must be positive and padding non-negative")
+        rng = as_rng(rng)
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        weight_shape = (out_channels, in_channels, kernel_size, kernel_size)
+        self.weight = Parameter(he_uniform(weight_shape, rng=rng), name="weight")
+        self.bias: Optional[Parameter] = (
+            Parameter(zeros_init((out_channels,)), name="bias") if bias else None
+        )
+        self._cached_columns: Optional[np.ndarray] = None
+        self._cached_input_shape: Optional[Tuple[int, int, int, int]] = None
+        self._cached_output_size: Optional[Tuple[int, int]] = None
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        inputs = np.asarray(inputs, dtype=np.float64)
+        if inputs.ndim != 4:
+            raise ValueError(f"Conv2d expects 4D input, got shape {inputs.shape}")
+        if inputs.shape[1] != self.in_channels:
+            raise ValueError(
+                f"expected {self.in_channels} input channels, got {inputs.shape[1]}"
+            )
+        columns, (out_h, out_w) = im2col(
+            inputs, self.kernel_size, self.kernel_size, self.stride, self.padding
+        )
+        self._cached_columns = columns
+        self._cached_input_shape = inputs.shape
+        self._cached_output_size = (out_h, out_w)
+        weight_matrix = self.weight.value.reshape(self.out_channels, -1)
+        output = columns @ weight_matrix.T
+        if self.bias is not None:
+            output = output + self.bias.value
+        batch = inputs.shape[0]
+        return output.reshape(batch, out_h, out_w, self.out_channels).transpose(0, 3, 1, 2)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cached_columns is None or self._cached_input_shape is None:
+            raise RuntimeError("backward called before forward")
+        grad_output = np.asarray(grad_output, dtype=np.float64)
+        batch = self._cached_input_shape[0]
+        out_h, out_w = self._cached_output_size
+        grad_matrix = grad_output.transpose(0, 2, 3, 1).reshape(
+            batch * out_h * out_w, self.out_channels
+        )
+        weight_matrix = self.weight.value.reshape(self.out_channels, -1)
+        grad_weight = grad_matrix.T @ self._cached_columns
+        self.weight.accumulate_grad(grad_weight.reshape(self.weight.value.shape))
+        if self.bias is not None:
+            self.bias.accumulate_grad(grad_matrix.sum(axis=0))
+        grad_columns = grad_matrix @ weight_matrix
+        return col2im(
+            grad_columns,
+            self._cached_input_shape,
+            self.kernel_size,
+            self.kernel_size,
+            self.stride,
+            self.padding,
+        )
+
+    def parameters(self) -> List[Parameter]:
+        if self.bias is None:
+            return [self.weight]
+        return [self.weight, self.bias]
+
+
+class MaxPool2d(Module):
+    """Max pooling with a square window."""
+
+    def __init__(self, kernel_size: int, stride: Optional[int] = None) -> None:
+        super().__init__()
+        if kernel_size <= 0:
+            raise ValueError("kernel_size must be positive")
+        self.kernel_size = kernel_size
+        self.stride = stride or kernel_size
+        self._cached_input_shape: Optional[Tuple[int, int, int, int]] = None
+        self._cached_argmax: Optional[np.ndarray] = None
+        self._cached_output_size: Optional[Tuple[int, int]] = None
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        inputs = np.asarray(inputs, dtype=np.float64)
+        if inputs.ndim != 4:
+            raise ValueError(f"MaxPool2d expects 4D input, got shape {inputs.shape}")
+        batch, channels, height, width = inputs.shape
+        out_h = _output_size(height, self.kernel_size, self.stride, 0)
+        out_w = _output_size(width, self.kernel_size, self.stride, 0)
+        columns, _ = im2col(
+            inputs.reshape(batch * channels, 1, height, width),
+            self.kernel_size,
+            self.kernel_size,
+            self.stride,
+            0,
+        )
+        self._cached_input_shape = inputs.shape
+        self._cached_output_size = (out_h, out_w)
+        self._cached_argmax = columns.argmax(axis=1)
+        output = columns.max(axis=1)
+        return output.reshape(batch, channels, out_h, out_w)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cached_argmax is None or self._cached_input_shape is None:
+            raise RuntimeError("backward called before forward")
+        grad_output = np.asarray(grad_output, dtype=np.float64)
+        batch, channels, height, width = self._cached_input_shape
+        out_h, out_w = self._cached_output_size
+        window = self.kernel_size * self.kernel_size
+        grad_columns = np.zeros((batch * channels * out_h * out_w, window))
+        flat_grad = grad_output.reshape(-1)
+        grad_columns[np.arange(grad_columns.shape[0]), self._cached_argmax] = flat_grad
+        grad_input = col2im(
+            grad_columns,
+            (batch * channels, 1, height, width),
+            self.kernel_size,
+            self.kernel_size,
+            self.stride,
+            0,
+        )
+        return grad_input.reshape(batch, channels, height, width)

@@ -1,0 +1,50 @@
+"""Weight initialization schemes."""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.utils.rng import as_rng
+
+
+def xavier_uniform(shape: Sequence[int], rng=None, gain: float = 1.0) -> np.ndarray:
+    """Glorot/Xavier uniform initialization for tanh/sigmoid/linear layers."""
+    rng = as_rng(rng)
+    fan_in, fan_out = _fans(shape)
+    limit = gain * math.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def he_uniform(shape: Sequence[int], rng=None) -> np.ndarray:
+    """He/Kaiming uniform initialization for ReLU layers."""
+    rng = as_rng(rng)
+    fan_in, _ = _fans(shape)
+    limit = math.sqrt(6.0 / fan_in)
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def zeros_init(shape: Sequence[int], rng=None) -> np.ndarray:
+    """All-zeros initialization (biases)."""
+    return np.zeros(shape, dtype=np.float64)
+
+
+def _fans(shape: Sequence[int]) -> tuple:
+    """Compute (fan_in, fan_out) for dense and convolutional weight shapes."""
+    shape = tuple(int(s) for s in shape)
+    if len(shape) == 0:
+        raise ValueError("cannot compute fans of a scalar shape")
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    if len(shape) == 2:
+        # Dense layer stored as (in_features, out_features).
+        return shape[0], shape[1]
+    # Convolution stored as (out_channels, in_channels, kh, kw).
+    receptive = 1
+    for dim in shape[2:]:
+        receptive *= dim
+    fan_in = shape[1] * receptive
+    fan_out = shape[0] * receptive
+    return fan_in, fan_out

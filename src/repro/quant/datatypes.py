@@ -1,0 +1,97 @@
+"""Named data types usable as fault-injection targets.
+
+A :class:`DataType` abstracts "how is this tensor stored in memory / on the
+wire": it knows how to encode a float tensor into integer code words of a
+fixed bit width and decode them back.  Both the int8 affine codec and the
+fixed-point Q formats are exposed through this interface so the fault injector
+can treat every storage format uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple, Union
+
+import numpy as np
+
+from repro.quant.fixedpoint import FixedPointFormat, Q1_2_5, Q1_3_4, Q1_4_11, Q1_7_8, Q1_10_5
+from repro.quant.int8 import Int8AffineCodec
+
+
+@dataclass(frozen=True)
+class DataType:
+    """A named storage format with encode/decode to integer code words.
+
+    ``encode`` returns ``(codes, context)`` where ``context`` carries whatever
+    is needed to decode (e.g. the int8 scale); ``decode`` reverses it.
+    """
+
+    name: str
+    bit_width: int
+    encode: Callable[[np.ndarray], Tuple[np.ndarray, object]]
+    decode: Callable[[np.ndarray, object], np.ndarray]
+
+    def roundtrip(self, values: np.ndarray) -> np.ndarray:
+        codes, context = self.encode(values)
+        return self.decode(codes, context)
+
+
+def _fixedpoint_datatype(fmt: FixedPointFormat) -> DataType:
+    def encode(values: np.ndarray) -> Tuple[np.ndarray, object]:
+        return fmt.encode(values), None
+
+    def decode(codes: np.ndarray, _context: object) -> np.ndarray:
+        return fmt.decode(codes)
+
+    return DataType(name=fmt.name, bit_width=fmt.total_bits, encode=encode, decode=decode)
+
+
+def _int8_datatype() -> DataType:
+    codec = Int8AffineCodec()
+
+    def encode(values: np.ndarray) -> Tuple[np.ndarray, object]:
+        quantized = codec.quantize(values)
+        return quantized.codes, quantized.scale
+
+    def decode(codes: np.ndarray, scale: object) -> np.ndarray:
+        return np.asarray(codes, dtype=np.float64) * float(scale)
+
+    return DataType(name="int8", bit_width=8, encode=encode, decode=decode)
+
+
+DATATYPE_REGISTRY: Dict[str, DataType] = {
+    "int8": _int8_datatype(),
+    Q1_4_11.name: _fixedpoint_datatype(Q1_4_11),
+    Q1_7_8.name: _fixedpoint_datatype(Q1_7_8),
+    Q1_10_5.name: _fixedpoint_datatype(Q1_10_5),
+    Q1_2_5.name: _fixedpoint_datatype(Q1_2_5),
+    Q1_3_4.name: _fixedpoint_datatype(Q1_3_4),
+    # Friendly aliases used in experiment configuration files.
+    "q1_4_11": _fixedpoint_datatype(Q1_4_11),
+    "q1_7_8": _fixedpoint_datatype(Q1_7_8),
+    "q1_10_5": _fixedpoint_datatype(Q1_10_5),
+    "q1_2_5": _fixedpoint_datatype(Q1_2_5),
+    "q1_3_4": _fixedpoint_datatype(Q1_3_4),
+}
+
+
+def resolve_datatype(datatype: Union[str, DataType, FixedPointFormat]) -> DataType:
+    """Resolve a name / format / DataType into a :class:`DataType`."""
+    if isinstance(datatype, DataType):
+        return datatype
+    if isinstance(datatype, FixedPointFormat):
+        return _fixedpoint_datatype(datatype)
+    key = str(datatype)
+    if key in DATATYPE_REGISTRY:
+        return DATATYPE_REGISTRY[key]
+
+    def canonical(name: str) -> str:
+        return "".join(ch for ch in name.lower() if ch.isalnum())
+
+    wanted = canonical(key)
+    for registered_key, registered in DATATYPE_REGISTRY.items():
+        if canonical(registered_key) == wanted:
+            return registered
+    raise KeyError(
+        f"unknown data type {datatype!r}; known types: {sorted(set(DATATYPE_REGISTRY))}"
+    )

@@ -1,0 +1,68 @@
+"""Common agent interface and episode bookkeeping."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.envs.base import Environment
+
+
+@dataclass
+class EpisodeStats:
+    """Summary of one episode."""
+
+    total_reward: float = 0.0
+    steps: int = 0
+    success: bool = False
+    crashed: bool = False
+    flight_distance: float = 0.0
+    info: Dict[str, object] = field(default_factory=dict)
+
+
+class Agent:
+    """Interface every learning agent implements.
+
+    Agents own a policy network; the federated layer exchanges parameters
+    through ``state_dict`` / ``load_state_dict``.
+    """
+
+    def select_action(self, observation: np.ndarray, explore: bool = True) -> int:
+        """Choose an action for ``observation``."""
+        raise NotImplementedError
+
+    def run_episode(self, env: Environment, train: bool = True) -> EpisodeStats:
+        """Interact with ``env`` for one episode, learning if ``train``."""
+        raise NotImplementedError
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Copy of the policy parameters."""
+        raise NotImplementedError
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        """Overwrite the policy parameters."""
+        raise NotImplementedError
+
+    def begin_episode(self, episode_index: int) -> None:
+        """Hook called by trainers before each episode (e.g. ε decay)."""
+
+    @property
+    def exploration_rate(self) -> float:
+        """Current exploration rate (0 for purely greedy agents)."""
+        return 0.0
+
+
+def outcome_to_stats(total_reward: float, steps: int, info: Optional[dict]) -> EpisodeStats:
+    """Build an :class:`EpisodeStats` from a final step's info dictionary."""
+    info = info or {}
+    outcome = str(info.get("outcome", ""))
+    return EpisodeStats(
+        total_reward=total_reward,
+        steps=steps,
+        success=outcome in ("goal", "survived"),
+        crashed=outcome == "crash",
+        flight_distance=float(info.get("flight_distance", 0.0)),
+        info=dict(info),
+    )

@@ -1,0 +1,75 @@
+"""Experience replay buffer for value-based learning."""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Tuple
+
+import numpy as np
+
+from repro.utils.rng import as_rng
+
+
+@dataclass(frozen=True)
+class Transition:
+    """One environment transition."""
+
+    observation: np.ndarray
+    action: int
+    reward: float
+    next_observation: np.ndarray
+    done: bool
+
+
+class ReplayBuffer:
+    """Fixed-capacity FIFO buffer with uniform random sampling."""
+
+    def __init__(self, capacity: int = 10_000, rng=None) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._buffer: Deque[Transition] = deque(maxlen=capacity)
+        self._rng = as_rng(rng)
+
+    def push(self, transition: Transition) -> None:
+        self._buffer.append(transition)
+
+    def add(
+        self,
+        observation: np.ndarray,
+        action: int,
+        reward: float,
+        next_observation: np.ndarray,
+        done: bool,
+    ) -> None:
+        self.push(Transition(np.asarray(observation), int(action), float(reward),
+                             np.asarray(next_observation), bool(done)))
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+    def sample(self, batch_size: int) -> List[Transition]:
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        if batch_size > len(self._buffer):
+            raise ValueError(
+                f"cannot sample {batch_size} transitions from a buffer of {len(self._buffer)}"
+            )
+        indices = self._rng.choice(len(self._buffer), size=batch_size, replace=False)
+        return [self._buffer[int(index)] for index in indices]
+
+    def sample_arrays(
+        self, batch_size: int
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Sample a batch and stack it into arrays for vectorized updates."""
+        batch = self.sample(batch_size)
+        observations = np.stack([t.observation for t in batch])
+        actions = np.asarray([t.action for t in batch], dtype=np.int64)
+        rewards = np.asarray([t.reward for t in batch], dtype=np.float64)
+        next_observations = np.stack([t.next_observation for t in batch])
+        dones = np.asarray([t.done for t in batch], dtype=bool)
+        return observations, actions, rewards, next_observations, dones
+
+    def clear(self) -> None:
+        self._buffer.clear()

@@ -1,0 +1,99 @@
+"""Rollout and evaluation helpers.
+
+Evaluation supports a small ε of residual exploration noise: the paper's
+success-rate campaigns repeat each scenario many times, which is only
+meaningful when the rollout has some stochasticity.  A small ε also mirrors
+the fielded behaviour of exploitation-phase agents that retain a residual
+exploration rate.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.envs.base import Environment
+from repro.rl.base import Agent, EpisodeStats, outcome_to_stats
+from repro.utils.rng import as_rng
+
+
+def run_episode(agent: Agent, env: Environment, train: bool = True) -> EpisodeStats:
+    """Run one episode (delegates to the agent's own loop)."""
+    return agent.run_episode(env, train=train)
+
+
+def greedy_episode(
+    agent: Agent,
+    env: Environment,
+    max_steps: Optional[int] = None,
+    epsilon: float = 0.0,
+    rng=None,
+) -> EpisodeStats:
+    """Run one exploitation episode without learning.
+
+    ``epsilon`` injects residual exploration noise (probability of a uniform
+    random action per step); ``max_steps`` optionally caps the episode
+    independently of the environment's own limit.
+    """
+    if not 0.0 <= epsilon <= 1.0:
+        raise ValueError(f"epsilon must be in [0, 1], got {epsilon}")
+    rng = as_rng(rng)
+    observation = env.reset()
+    total_reward = 0.0
+    steps = 0
+    last_info = {}
+    done = False
+    while not done:
+        if epsilon > 0.0 and rng.random() < epsilon:
+            action = int(rng.integers(0, env.action_count))
+        else:
+            action = agent.select_action(observation, explore=False)
+        result = env.step(action)
+        total_reward += result.reward
+        steps += 1
+        last_info = result.info
+        observation = result.observation
+        done = result.done
+        if max_steps is not None and steps >= max_steps and not done:
+            last_info = dict(last_info)
+            last_info["outcome"] = "survived"
+            done = True
+    return outcome_to_stats(total_reward, steps, last_info)
+
+
+def evaluate_success_rate(
+    agent: Agent,
+    env: Environment,
+    attempts: int = 20,
+    epsilon: float = 0.05,
+    rng=None,
+) -> float:
+    """Fraction of attempts in which the agent reached the goal (GridWorld SR)."""
+    if attempts <= 0:
+        raise ValueError(f"attempts must be positive, got {attempts}")
+    rng = as_rng(rng)
+    successes = 0
+    for _ in range(attempts):
+        stats = greedy_episode(agent, env, epsilon=epsilon, rng=rng)
+        if stats.success:
+            successes += 1
+    return successes / attempts
+
+
+def evaluate_flight_distance(
+    agent: Agent,
+    env: Environment,
+    attempts: int = 5,
+    epsilon: float = 0.0,
+    rng=None,
+) -> float:
+    """Average safe flight distance over ``attempts`` exploitation episodes."""
+    if attempts <= 0:
+        raise ValueError(f"attempts must be positive, got {attempts}")
+    rng = as_rng(rng)
+    distances: List[float] = []
+    for _ in range(attempts):
+        stats = greedy_episode(agent, env, epsilon=epsilon, rng=rng)
+        distances.append(stats.flight_distance)
+    return float(np.mean(distances))

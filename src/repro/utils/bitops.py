@@ -1,0 +1,168 @@
+"""Bit-level helpers on integer numpy arrays.
+
+The fault models in :mod:`repro.faults` operate on the *integer code words* of
+quantized tensors (int8 affine quantization or Q(sign, int, frac) fixed point).
+These helpers implement the low-level bit manipulation: flipping, setting and
+counting bits across arbitrarily shaped arrays, always on an explicit unsigned
+view so that sign bits behave like any other storage bit.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+_UNSIGNED_FOR_WIDTH = {8: np.uint8, 16: np.uint16, 32: np.uint32, 64: np.uint64}
+_SIGNED_FOR_WIDTH = {8: np.int8, 16: np.int16, 32: np.int32, 64: np.int64}
+
+
+def unsigned_dtype_for(bit_width: int) -> np.dtype:
+    """Smallest unsigned dtype that can store ``bit_width`` bits."""
+    for width in (8, 16, 32, 64):
+        if bit_width <= width:
+            return np.dtype(_UNSIGNED_FOR_WIDTH[width])
+    raise ValueError(f"bit widths above 64 are not supported, got {bit_width}")
+
+
+def signed_dtype_for(bit_width: int) -> np.dtype:
+    """Smallest signed dtype that can store ``bit_width`` bits."""
+    for width in (8, 16, 32, 64):
+        if bit_width <= width:
+            return np.dtype(_SIGNED_FOR_WIDTH[width])
+    raise ValueError(f"bit widths above 64 are not supported, got {bit_width}")
+
+
+def _validate_positions(bit_positions: np.ndarray, bit_width: int) -> np.ndarray:
+    positions = np.asarray(bit_positions, dtype=np.int64)
+    if positions.size and (positions.min() < 0 or positions.max() >= bit_width):
+        raise ValueError(
+            f"bit positions must lie in [0, {bit_width}), got range "
+            f"[{positions.min()}, {positions.max()}]"
+        )
+    return positions
+
+
+def flip_bits(
+    codes: np.ndarray,
+    element_indices: np.ndarray,
+    bit_positions: np.ndarray,
+    bit_width: int,
+) -> np.ndarray:
+    """Flip ``bit_positions`` of the flattened ``codes`` at ``element_indices``.
+
+    ``codes`` is an integer array of code words; the function returns a new
+    array of the same dtype and shape.  Multiple flips may target the same
+    element (and even the same bit, in which case they cancel out, matching
+    physical transient-fault behaviour of an even number of upsets).
+    """
+    positions = _validate_positions(bit_positions, bit_width)
+    elements = np.asarray(element_indices, dtype=np.int64)
+    if elements.shape != positions.shape:
+        raise ValueError("element_indices and bit_positions must have the same shape")
+    unsigned = unsigned_dtype_for(bit_width)
+    flat = np.ascontiguousarray(codes).reshape(-1).astype(unsigned, copy=True)
+    if elements.size and (elements.min() < 0 or elements.max() >= flat.size):
+        raise IndexError("element index out of range for the given tensor")
+    masks = (np.ones_like(positions, dtype=np.uint64) << positions.astype(np.uint64)).astype(
+        unsigned
+    )
+    # XOR accumulation: np.bitwise_xor.at handles repeated indices correctly.
+    np.bitwise_xor.at(flat, elements, masks)
+    return flat.reshape(np.asarray(codes).shape).astype(codes.dtype, copy=False)
+
+
+def set_bits(
+    codes: np.ndarray,
+    element_indices: np.ndarray,
+    bit_positions: np.ndarray,
+    bit_width: int,
+    value: int,
+) -> np.ndarray:
+    """Force bits to ``value`` (0 or 1) — the stuck-at fault primitive."""
+    if value not in (0, 1):
+        raise ValueError(f"stuck-at value must be 0 or 1, got {value}")
+    positions = _validate_positions(bit_positions, bit_width)
+    elements = np.asarray(element_indices, dtype=np.int64)
+    if elements.shape != positions.shape:
+        raise ValueError("element_indices and bit_positions must have the same shape")
+    unsigned = unsigned_dtype_for(bit_width)
+    flat = np.ascontiguousarray(codes).reshape(-1).astype(unsigned, copy=True)
+    if elements.size and (elements.min() < 0 or elements.max() >= flat.size):
+        raise IndexError("element index out of range for the given tensor")
+    masks = (np.ones_like(positions, dtype=np.uint64) << positions.astype(np.uint64)).astype(
+        unsigned
+    )
+    if value == 1:
+        np.bitwise_or.at(flat, elements, masks)
+    else:
+        inverted = (~masks).astype(unsigned)
+        np.bitwise_and.at(flat, elements, inverted)
+    return flat.reshape(np.asarray(codes).shape).astype(codes.dtype, copy=False)
+
+
+def count_ones(codes: np.ndarray, bit_width: int) -> int:
+    """Total number of 1 bits in the low ``bit_width`` bits of every element."""
+    unsigned = unsigned_dtype_for(bit_width)
+    flat = np.ascontiguousarray(codes).reshape(-1).astype(np.uint64)
+    mask = np.uint64((1 << bit_width) - 1) if bit_width < 64 else np.uint64(0xFFFFFFFFFFFFFFFF)
+    flat = flat & mask
+    del unsigned
+    total = 0
+    for position in range(bit_width):
+        total += int(((flat >> np.uint64(position)) & np.uint64(1)).sum())
+    return total
+
+
+def one_bit_fraction(codes: np.ndarray, bit_width: int) -> float:
+    """Fraction of storage bits that are 1 — Fig. 3d's bit breakdown."""
+    flat = np.ascontiguousarray(codes).reshape(-1)
+    total_bits = flat.size * bit_width
+    if total_bits == 0:
+        return 0.0
+    return count_ones(flat, bit_width) / total_bits
+
+
+def random_bit_positions(
+    rng: np.random.Generator, count: int, bit_width: int
+) -> np.ndarray:
+    """Uniformly random bit positions in ``[0, bit_width)``."""
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    return rng.integers(0, bit_width, size=count, dtype=np.int64)
+
+
+def bit_planes(codes: np.ndarray, bit_width: int) -> np.ndarray:
+    """Return an array of shape ``(bit_width, *codes.shape)`` with 0/1 planes."""
+    flat = np.ascontiguousarray(codes).astype(np.uint64)
+    planes = np.stack(
+        [((flat >> np.uint64(position)) & np.uint64(1)) for position in range(bit_width)]
+    )
+    return planes.astype(np.uint8)
+
+
+def faults_for_ber(total_bits: int, bit_error_rate: float, rng: np.random.Generator) -> int:
+    """Number of bit faults for a given BER over ``total_bits`` storage bits.
+
+    The paper reports fault counts as ``round(BER * bits)``; we sample a
+    binomial to model the stochastic arrival of upsets and fall back to the
+    deterministic rounding when the expected count is large (>30) where the
+    binomial is sharply concentrated anyway.
+    """
+    if not 0.0 <= bit_error_rate <= 1.0:
+        raise ValueError(f"bit_error_rate must be within [0, 1], got {bit_error_rate}")
+    if total_bits < 0:
+        raise ValueError(f"total_bits must be non-negative, got {total_bits}")
+    expected = total_bits * bit_error_rate
+    if expected == 0:
+        return 0
+    if expected > 30:
+        return int(round(expected))
+    return int(rng.binomial(total_bits, bit_error_rate))
+
+
+def pack_unsigned(values: np.ndarray, bit_width: int) -> Tuple[np.ndarray, np.dtype]:
+    """Mask ``values`` to ``bit_width`` bits and return them in the smallest dtype."""
+    dtype = unsigned_dtype_for(bit_width)
+    mask = (1 << bit_width) - 1
+    return (np.asarray(values).astype(np.uint64) & np.uint64(mask)).astype(dtype), dtype

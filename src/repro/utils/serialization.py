@@ -1,0 +1,68 @@
+"""Serialization helpers for model state and experiment results.
+
+Model state dicts map parameter names to numpy arrays; JSON is the only format
+required by the reproduction (results tables, experiment manifests) so the
+helpers here convert between numpy-backed state and JSON-compatible builtins.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Union
+
+import numpy as np
+
+PathLike = Union[str, Path]
+
+
+def state_dict_to_lists(state: Dict[str, np.ndarray]) -> Dict[str, dict]:
+    """Convert a ``{name: ndarray}`` state dict into JSON-serializable form."""
+    encoded = {}
+    for name, array in state.items():
+        array = np.asarray(array)
+        encoded[name] = {
+            "dtype": str(array.dtype),
+            "shape": list(array.shape),
+            "data": array.reshape(-1).tolist(),
+        }
+    return encoded
+
+
+def state_dict_from_lists(encoded: Dict[str, dict]) -> Dict[str, np.ndarray]:
+    """Inverse of :func:`state_dict_to_lists`."""
+    state = {}
+    for name, payload in encoded.items():
+        array = np.asarray(payload["data"], dtype=np.dtype(payload["dtype"]))
+        state[name] = array.reshape(payload["shape"])
+    return state
+
+
+class _NumpyJSONEncoder(json.JSONEncoder):
+    """JSON encoder that understands numpy scalars and arrays."""
+
+    def default(self, obj):  # noqa: D102 - stdlib override
+        if isinstance(obj, np.integer):
+            return int(obj)
+        if isinstance(obj, np.floating):
+            return float(obj)
+        if isinstance(obj, np.bool_):
+            return bool(obj)
+        if isinstance(obj, np.ndarray):
+            return obj.tolist()
+        return super().default(obj)
+
+
+def save_json(path: PathLike, payload: object, indent: int = 2) -> Path:
+    """Write ``payload`` as JSON to ``path`` and return the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf8") as handle:
+        json.dump(payload, handle, indent=indent, cls=_NumpyJSONEncoder)
+    return path
+
+
+def load_json(path: PathLike) -> object:
+    """Read JSON from ``path``."""
+    with Path(path).open("r", encoding="utf8") as handle:
+        return json.load(handle)

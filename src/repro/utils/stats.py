@@ -1,0 +1,186 @@
+"""Statistics helpers for fault-injection campaigns.
+
+The paper repeats each GridWorld fault-injection campaign 1000 times to reach a
+95 % confidence level within a 1 % error margin.  These helpers provide the
+matching machinery: proportion and mean confidence intervals, running
+statistics, and the sample-size calculation that justifies a repetition count.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+# Two-sided z critical values for common confidence levels; scipy is available
+# but a lookup keeps the hot path free of distribution-object construction.
+_Z_TABLE = {0.80: 1.2816, 0.90: 1.6449, 0.95: 1.9600, 0.98: 2.3263, 0.99: 2.5758}
+
+
+def z_critical(confidence: float) -> float:
+    """Two-sided z critical value for ``confidence`` in (0, 1)."""
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    if confidence in _Z_TABLE:
+        return _Z_TABLE[confidence]
+    from scipy.stats import norm
+
+    return float(norm.ppf(0.5 + confidence / 2.0))
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    """A point estimate with a symmetric confidence interval."""
+
+    mean: float
+    lower: float
+    upper: float
+    confidence: float
+    samples: int
+
+    @property
+    def half_width(self) -> float:
+        return (self.upper - self.lower) / 2.0
+
+    def contains(self, value: float) -> bool:
+        return self.lower <= value <= self.upper
+
+    def __str__(self) -> str:
+        return (
+            f"{self.mean:.4f} ± {self.half_width:.4f} "
+            f"({self.confidence:.0%} CI, n={self.samples})"
+        )
+
+
+def mean_confidence_interval(
+    samples: Sequence[float], confidence: float = 0.95
+) -> ConfidenceInterval:
+    """Normal-approximation confidence interval of the sample mean."""
+    values = np.asarray(list(samples), dtype=np.float64)
+    if values.size == 0:
+        raise ValueError("cannot compute a confidence interval of zero samples")
+    mean = float(values.mean())
+    if values.size == 1:
+        return ConfidenceInterval(mean, mean, mean, confidence, 1)
+    stderr = float(values.std(ddof=1)) / math.sqrt(values.size)
+    half = z_critical(confidence) * stderr
+    return ConfidenceInterval(mean, mean - half, mean + half, confidence, int(values.size))
+
+
+def proportion_confidence_interval(
+    successes: int, trials: int, confidence: float = 0.95
+) -> ConfidenceInterval:
+    """Wilson score interval for a binomial proportion (robust near 0 and 1)."""
+    if trials <= 0:
+        raise ValueError(f"trials must be positive, got {trials}")
+    if not 0 <= successes <= trials:
+        raise ValueError(f"successes must be within [0, {trials}], got {successes}")
+    z = z_critical(confidence)
+    phat = successes / trials
+    denom = 1.0 + z * z / trials
+    center = (phat + z * z / (2 * trials)) / denom
+    margin = (
+        z * math.sqrt(phat * (1 - phat) / trials + z * z / (4 * trials * trials)) / denom
+    )
+    return ConfidenceInterval(phat, max(0.0, center - margin), min(1.0, center + margin), confidence, trials)
+
+
+def required_sample_size(
+    error_margin: float, confidence: float = 0.95, proportion: float = 0.5
+) -> int:
+    """Samples needed for a proportion estimate within ``error_margin``.
+
+    With the paper's parameters (95 % confidence, 1 % margin, worst-case
+    p=0.5) this evaluates to 9604; the paper's 1000 repetitions correspond to a
+    success-rate proportion already close to 1, where far fewer samples
+    suffice — both cases are expressible through ``proportion``.
+    """
+    if not 0.0 < error_margin < 1.0:
+        raise ValueError(f"error_margin must be in (0, 1), got {error_margin}")
+    if not 0.0 <= proportion <= 1.0:
+        raise ValueError(f"proportion must be in [0, 1], got {proportion}")
+    z = z_critical(confidence)
+    return int(math.ceil(z * z * proportion * (1.0 - proportion) / (error_margin**2)))
+
+
+class RunningStat:
+    """Numerically stable running mean/variance (Welford's algorithm)."""
+
+    def __init__(self) -> None:
+        self._count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    def update(self, value: float) -> None:
+        value = float(value)
+        self._count += 1
+        delta = value - self._mean
+        self._mean += delta / self._count
+        self._m2 += delta * (value - self._mean)
+        self._min = min(self._min, value)
+        self._max = max(self._max, value)
+
+    def extend(self, values: Iterable[float]) -> None:
+        for value in values:
+            self.update(value)
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def mean(self) -> float:
+        return self._mean if self._count else 0.0
+
+    @property
+    def variance(self) -> float:
+        if self._count < 2:
+            return 0.0
+        return self._m2 / (self._count - 1)
+
+    @property
+    def std(self) -> float:
+        return math.sqrt(self.variance)
+
+    @property
+    def minimum(self) -> float:
+        return self._min if self._count else 0.0
+
+    @property
+    def maximum(self) -> float:
+        return self._max if self._count else 0.0
+
+    def confidence_interval(self, confidence: float = 0.95) -> ConfidenceInterval:
+        if self._count == 0:
+            raise ValueError("no samples recorded")
+        if self._count == 1:
+            return ConfidenceInterval(self._mean, self._mean, self._mean, confidence, 1)
+        stderr = self.std / math.sqrt(self._count)
+        half = z_critical(confidence) * stderr
+        return ConfidenceInterval(
+            self._mean, self._mean - half, self._mean + half, confidence, self._count
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"RunningStat(count={self._count}, mean={self.mean:.4f}, std={self.std:.4f})"
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean of strictly positive values."""
+    array = np.asarray(list(values), dtype=np.float64)
+    if array.size == 0:
+        raise ValueError("cannot compute geometric mean of zero values")
+    if (array <= 0).any():
+        raise ValueError("geometric mean requires strictly positive values")
+    return float(np.exp(np.log(array).mean()))
+
+
+def improvement_factor(baseline: float, improved: float) -> float:
+    """Ratio ``improved / baseline`` used for the paper's "up to 3.3×" claims."""
+    if baseline <= 0:
+        raise ValueError(f"baseline must be positive, got {baseline}")
+    return improved / baseline

@@ -1,0 +1,90 @@
+"""Tests for observation checks and report rendering."""
+
+import numpy as np
+
+from repro.analysis import (
+    check_heatmap_trend,
+    check_improvement,
+    check_series_order,
+    experiment_report,
+    render_result,
+)
+from repro.core.results import HeatmapResult, SweepResult, TableResult
+
+
+def make_heatmap(values):
+    values = np.asarray(values, dtype=np.float64)
+    return HeatmapResult(
+        title="h", metric="SR", row_axis="BER", column_axis="episode",
+        row_labels=[f"r{i}" for i in range(values.shape[0])],
+        column_labels=list(range(values.shape[1])),
+        values=values,
+    )
+
+
+class TestHeatmapTrend:
+    def test_degrading_trend_confirmed(self):
+        check = check_heatmap_trend(make_heatmap([[95.0, 96.0], [50.0, 40.0]]))
+        assert check.holds
+
+    def test_improving_trend_not_confirmed(self):
+        check = check_heatmap_trend(make_heatmap([[50.0, 50.0], [90.0, 95.0]]))
+        assert not check.holds
+
+    def test_tolerance_allows_noise(self):
+        check = check_heatmap_trend(make_heatmap([[90.0, 90.0], [91.0, 91.0]]), tolerance=0.05)
+        assert check.holds
+
+    def test_str_mentions_status(self):
+        text = str(check_heatmap_trend(make_heatmap([[1.0], [0.5]])))
+        assert "CONFIRMED" in text
+
+
+class TestSeriesOrder:
+    def make_sweep(self):
+        return SweepResult(
+            title="s", metric="m", x_axis="BER", x_values=[0, 1],
+            series={"multi": [90.0, 70.0], "single": [85.0, 40.0]},
+        )
+
+    def test_mean_comparison(self):
+        assert check_series_order(self.make_sweep(), better="multi", worse="single").holds
+
+    def test_last_point_comparison(self):
+        assert check_series_order(self.make_sweep(), better="multi", worse="single", at="last").holds
+
+    def test_violated_order(self):
+        assert not check_series_order(self.make_sweep(), better="single", worse="multi").holds
+
+    def test_invalid_at(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            check_series_order(self.make_sweep(), better="multi", worse="single", at="median")
+
+
+class TestImprovement:
+    def test_uses_metadata_factor_when_present(self):
+        sweep = SweepResult(title="s", metric="m", x_axis="x", x_values=[0],
+                            series={"no_mitigation": [10.0], "mitigation": [20.0]},
+                            metadata={"max_improvement_factor": 3.3})
+        check = check_improvement(sweep, minimum_factor=3.0)
+        assert check.holds and "3.30x" in check.detail
+
+    def test_computes_factor_from_series(self):
+        sweep = SweepResult(title="s", metric="m", x_axis="x", x_values=[0, 1],
+                            series={"no_mitigation": [10.0, 5.0], "mitigation": [10.0, 15.0]})
+        assert check_improvement(sweep, minimum_factor=2.5).holds
+
+
+class TestReport:
+    def test_render_result_dispatch(self):
+        table = TableResult(title="T", headers=["a"], rows=[[1.0]])
+        assert "T" in render_result(table)
+        assert render_result("plain") == "plain"
+
+    def test_experiment_report_sections(self):
+        table = TableResult(title="T", headers=["a"], rows=[[1.0]])
+        checks = [check_heatmap_trend(make_heatmap([[2.0], [1.0]]))]
+        report = experiment_report({"table1": table}, observations=checks, title="Repro")
+        assert "Repro" in report and "table1" in report and "Observation checks" in report

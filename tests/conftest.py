@@ -1,0 +1,46 @@
+"""Shared fixtures for the FRL-FI test suite.
+
+Expensive artefacts (trained tiny policies, the policy cache) are
+session-scoped so the many tests that need a trained policy reuse one
+training run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import DroneScale, GridWorldScale
+from repro.core.pretrained import PolicyCache
+
+
+@pytest.fixture(scope="session")
+def tiny_gridworld_scale() -> GridWorldScale:
+    return GridWorldScale.tiny()
+
+@pytest.fixture(scope="session")
+def tiny_drone_scale() -> DroneScale:
+    return DroneScale.tiny()
+
+
+@pytest.fixture(scope="session")
+def policy_cache(tmp_path_factory) -> PolicyCache:
+    """A session-scoped policy cache rooted in a temporary directory."""
+    return PolicyCache(tmp_path_factory.mktemp("frlfi_cache"))
+
+
+@pytest.fixture(scope="session")
+def tiny_gridworld_policies(policy_cache, tiny_gridworld_scale):
+    """Trained tiny GridWorld FRL policies (consensus + per-agent)."""
+    return policy_cache.gridworld_policies(tiny_gridworld_scale)
+
+
+@pytest.fixture(scope="session")
+def tiny_drone_policy(policy_cache, tiny_drone_scale):
+    """Behaviour-cloned tiny drone policy."""
+    return policy_cache.drone_policy(tiny_drone_scale)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)

@@ -1,0 +1,99 @@
+"""Tests for experiment scales and result containers."""
+
+import numpy as np
+import pytest
+
+from repro.core import DroneScale, GridWorldScale, HeatmapResult, SweepResult, TableResult
+from repro.core.results import summarize_improvement
+
+
+class TestScales:
+    def test_presets_exist(self):
+        for scale_cls in (GridWorldScale, DroneScale):
+            assert scale_cls.tiny() != scale_cls.paper()
+            assert scale_cls.fast() == scale_cls()
+
+    def test_paper_scale_matches_paper_numbers(self):
+        paper = GridWorldScale.paper()
+        assert paper.agent_count == 12
+        assert paper.episodes == 1000
+        drone = DroneScale.paper()
+        assert drone.drone_count == 4
+        assert drone.image_width == 320 and drone.image_height == 180
+
+    def test_with_agents_and_seed(self):
+        scale = GridWorldScale.tiny().with_agents(6).with_seed(3)
+        assert scale.agent_count == 6 and scale.seed == 3
+
+    def test_drone_input_shape(self):
+        assert DroneScale(image_height=8, image_width=16).input_shape == (3, 8, 16)
+
+    def test_invalid_scales(self):
+        with pytest.raises(ValueError):
+            GridWorldScale(agent_count=0)
+        with pytest.raises(ValueError):
+            DroneScale(drone_count=0)
+        with pytest.raises(ValueError):
+            GridWorldScale(repeats=0)
+
+    def test_scales_are_frozen(self):
+        with pytest.raises(Exception):
+            GridWorldScale.tiny().agent_count = 5
+
+
+class TestHeatmapResult:
+    def make(self):
+        return HeatmapResult(
+            title="demo", metric="SR", row_axis="BER", column_axis="episode",
+            row_labels=["0%", "1%"], column_labels=[10, 20],
+            values=np.array([[90.0, 95.0], [60.0, 50.0]]),
+        )
+
+    def test_cell_and_row_lookup(self):
+        result = self.make()
+        assert result.cell("1%", 20) == 50.0
+        np.testing.assert_allclose(result.row("0%"), [90.0, 95.0])
+
+    def test_render_contains_labels(self):
+        text = self.make().render()
+        assert "demo" in text and "1%" in text and "20" in text
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            HeatmapResult("t", "m", "r", "c", ["a"], [1, 2], np.zeros((2, 2)))
+
+    def test_as_dict_roundtrippable(self):
+        payload = self.make().as_dict()
+        assert payload["values"] == [[90.0, 95.0], [60.0, 50.0]]
+
+
+class TestSweepResult:
+    def make(self):
+        return SweepResult(
+            title="sweep", metric="m", x_axis="BER", x_values=[0.0, 0.01],
+            series={"a": [1.0, 2.0], "b": [3.0, 6.0]},
+        )
+
+    def test_value_lookup(self):
+        assert self.make().value("b", 0.01) == 6.0
+
+    def test_series_length_validation(self):
+        with pytest.raises(ValueError):
+            SweepResult("t", "m", "x", [1], {"a": [1.0, 2.0]})
+
+    def test_render(self):
+        assert "sweep" in self.make().render()
+
+    def test_summarize_improvement(self):
+        assert summarize_improvement(self.make(), "a", "b") == pytest.approx(3.0)
+
+    def test_summarize_improvement_missing_series(self):
+        assert summarize_improvement(self.make(), "a", "zzz") is None
+
+
+class TestTableResult:
+    def test_column_access_and_render(self):
+        table = TableResult(title="T", headers=["k", "v"], rows=[["x", 1.0], ["y", 2.0]])
+        assert table.column("v") == [1.0, 2.0]
+        assert "T" in table.render()
+        assert table.as_dict()["headers"] == ["k", "v"]

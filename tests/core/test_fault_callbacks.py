@@ -1,0 +1,94 @@
+"""Tests for the training fault-injection callback."""
+
+import numpy as np
+import pytest
+
+from repro.core.fault_callbacks import TrainingFaultCallback, make_training_fault
+from repro.core.workloads import build_gridworld_frl_system
+from repro.core.config import GridWorldScale
+from repro.faults import FaultSpec
+
+
+def tiny_frl():
+    return build_gridworld_frl_system(GridWorldScale.tiny())
+
+
+class TestTrainingFaultCallback:
+    def test_disabled_spec_never_injects(self):
+        system = tiny_frl()
+        callback = TrainingFaultCallback(FaultSpec(bit_error_rate=0.0), rng=0)
+        system.train(3, callbacks=[callback])
+        assert callback.injection_count == 0
+
+    def test_injects_only_at_selected_episode(self):
+        system = tiny_frl()
+        callback = make_training_fault("agent", 0.05, injection_episode=2, datatype="Q(1,2,5)", rng=0)
+        system.train(5, callbacks=[callback])
+        assert callback.injection_count == 1
+        assert callback.injections[0]["episode"] == 2
+        assert callback.injections[0]["where"] == "agent_weights"
+
+    def test_injects_every_episode_when_unpinned(self):
+        system = tiny_frl()
+        callback = make_training_fault("agent", 0.01, injection_episode=None, rng=0)
+        system.train(4, callbacks=[callback])
+        assert callback.injection_count == 4
+
+    def test_agent_fault_touches_single_agent(self):
+        system = tiny_frl()
+        before = [agent.upload_state() for agent in system.agents]
+        callback = make_training_fault("agent", 0.2, injection_episode=0, agent_index=1,
+                                       datatype="Q(1,2,5)", rng=0)
+        # Disable learning updates by training zero episodes and invoking the hook directly.
+        callback.on_round_end(system, 0, communicated=False)
+        after = [agent.upload_state() for agent in system.agents]
+        unchanged = all(np.array_equal(before[0][n], after[0][n]) for n in before[0])
+        changed = any(not np.array_equal(before[1][n], after[1][n]) for n in before[1])
+        assert unchanged and changed
+
+    def test_server_fault_touches_all_agents(self):
+        system = tiny_frl()
+        before = [agent.upload_state() for agent in system.agents]
+        callback = make_training_fault("server", 0.2, injection_episode=0,
+                                       datatype="Q(1,2,5)", rng=0)
+        callback.on_round_end(system, 0, communicated=False)
+        after = [agent.upload_state() for agent in system.agents]
+        for index in range(len(before)):
+            assert any(not np.array_equal(before[index][n], after[index][n]) for n in before[index])
+        assert callback.injections[0]["where"] == "server_weights"
+
+    def test_server_fault_updates_server_consensus(self):
+        system = tiny_frl()
+        system.train(2)  # the tiny scale communicates every second episode
+        consensus_before = {k: v.copy() for k, v in system.server.consensus.items()}
+        callback = make_training_fault("server", 0.2, injection_episode=5, datatype="Q(1,2,5)", rng=0)
+        callback.on_round_end(system, 5, communicated=False)
+        changed = any(
+            not np.array_equal(system.server.consensus[name], consensus_before[name])
+            for name in consensus_before
+        )
+        assert changed
+
+    def test_activation_fault_attaches_and_detaches_hooks(self):
+        from repro.faults.hooks import ActivationFaultHook
+
+        system = tiny_frl()
+        callback = make_training_fault("agent", 0.05, injection_episode=0, target="activations",
+                                       agent_index=0, rng=0)
+        callback.on_episode_start(system, 0)
+        assert any(
+            isinstance(module, ActivationFaultHook)
+            for module in system.agents[0].agent.network.modules
+        )
+        callback.on_round_end(system, 0, communicated=False)
+        assert not any(
+            isinstance(module, ActivationFaultHook)
+            for module in system.agents[0].agent.network.modules
+        )
+        assert callback.injections[0]["where"] == "agent_activations"
+
+    def test_training_with_fault_still_completes(self):
+        system = tiny_frl()
+        callback = make_training_fault("server", 0.05, injection_episode=1, rng=0)
+        log = system.train(3, callbacks=[callback])
+        assert log.episodes == 3

@@ -1,0 +1,43 @@
+"""Tests for the FaultCharacterizationFramework facade."""
+
+import pytest
+
+from repro.core import DroneScale, FaultCharacterizationFramework, GridWorldScale
+
+
+@pytest.fixture()
+def framework(policy_cache):
+    return FaultCharacterizationFramework(
+        gridworld_scale=GridWorldScale.tiny(),
+        drone_scale=DroneScale.tiny(),
+        cache=policy_cache,
+    )
+
+
+class TestFramework:
+    def test_experiment_ids_cover_paper_artifacts(self, framework):
+        ids = framework.experiment_ids
+        for required in ("fig3a", "fig3b", "fig3c", "fig3d", "fig3e", "table1", "fig4",
+                         "fig5a", "fig5b", "fig5c", "fig6a", "fig6b", "fig7a", "fig7b",
+                         "fig8a", "fig8b", "fig9", "datatypes"):
+            assert required in ids
+
+    def test_unknown_experiment(self, framework):
+        with pytest.raises(KeyError):
+            framework.run("fig99")
+
+    def test_run_fig9_and_report(self, framework):
+        result = framework.run("fig9")
+        assert "fig9" in framework.results
+        report = framework.report()
+        assert "fig9" in report and "DJI Spark" in report
+        assert hasattr(result, "rows")
+
+    def test_run_fig3d_uses_cache(self, framework):
+        result = framework.run("fig3d")
+        labels = [row[0] for row in result.rows]
+        assert "0 bits (%)" in labels
+
+    def test_run_all_subset(self, framework):
+        results = framework.run_all(["fig9", "fig3d"])
+        assert set(results) == {"fig9", "fig3d"}

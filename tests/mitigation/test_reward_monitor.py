@@ -1,0 +1,85 @@
+"""Tests for reward-drop fault detection."""
+
+import pytest
+
+from repro.mitigation import RewardDropDetector
+
+
+def feed(detector, episode_rewards):
+    """Feed a list of per-episode reward vectors; return all events."""
+    events = []
+    for episode, rewards in enumerate(episode_rewards):
+        event = detector.observe(episode, rewards)
+        if event is not None:
+            events.append(event)
+    return events
+
+
+class TestRewardDropDetector:
+    def test_no_event_on_healthy_rewards(self):
+        detector = RewardDropDetector(agent_count=3, drop_percent=25, consecutive_episodes=3)
+        events = feed(detector, [[1.0, 1.0, 1.0]] * 20)
+        assert events == []
+
+    def test_agent_fault_detected(self):
+        detector = RewardDropDetector(agent_count=3, drop_percent=25, consecutive_episodes=3)
+        healthy = [[1.0, 1.0, 1.0]] * 5
+        faulty = [[-1.0, 1.0, 1.0]] * 5
+        events = feed(detector, healthy + faulty)
+        assert events
+        assert events[0].kind == "agent"
+        assert events[0].agent_indices == (0,)
+
+    def test_server_fault_when_majority_drop(self):
+        detector = RewardDropDetector(agent_count=4, drop_percent=25, consecutive_episodes=3)
+        healthy = [[1.0] * 4] * 5
+        faulty = [[-1.0, -1.0, -1.0, 1.0]] * 5
+        events = feed(detector, healthy + faulty)
+        assert events
+        assert events[0].kind == "server"
+        assert len(events[0].agent_indices) == 3
+
+    def test_transient_dip_not_detected(self):
+        detector = RewardDropDetector(agent_count=2, drop_percent=25, consecutive_episodes=4)
+        rewards = [[1.0, 1.0]] * 5 + [[-1.0, 1.0]] * 2 + [[1.0, 1.0]] * 10
+        assert feed(detector, rewards) == []
+
+    def test_detection_latency_matches_k(self):
+        detector = RewardDropDetector(agent_count=2, drop_percent=25, consecutive_episodes=5)
+        healthy = [[1.0, 1.0]] * 3
+        faulty = [[-1.0, 1.0]] * 10
+        events = feed(detector, healthy + faulty)
+        assert events[0].episode == 3 + 5 - 1
+
+    def test_counter_resets_after_event(self):
+        detector = RewardDropDetector(agent_count=2, drop_percent=25, consecutive_episodes=2)
+        healthy = [[1.0, 1.0]] * 3
+        faulty = [[-1.0, 1.0]] * 6
+        events = feed(detector, healthy + faulty)
+        # With the counter reset after each event, events repeat every k episodes.
+        assert len(events) >= 2
+        assert events[1].episode - events[0].episode >= 2
+
+    def test_reset_agent_clears_history(self):
+        detector = RewardDropDetector(agent_count=1, drop_percent=25, consecutive_episodes=2)
+        feed(detector, [[1.0]] * 3 + [[-1.0]])
+        detector.reset_agent(0)
+        assert detector.observe(10, [-1.0]) is None
+
+    def test_observe_validates_reward_count(self):
+        detector = RewardDropDetector(agent_count=2)
+        with pytest.raises(ValueError):
+            detector.observe(0, [1.0])
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            RewardDropDetector(agent_count=0)
+        with pytest.raises(ValueError):
+            RewardDropDetector(agent_count=1, drop_percent=0)
+        with pytest.raises(ValueError):
+            RewardDropDetector(agent_count=1, consecutive_episodes=0)
+
+    def test_event_str(self):
+        detector = RewardDropDetector(agent_count=2, consecutive_episodes=1)
+        events = feed(detector, [[1.0, 1.0]] * 3 + [[-2.0, 1.0]])
+        assert "agent" in str(events[0])

@@ -1,0 +1,118 @@
+"""Tests for convolution and pooling layers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Conv2d, MaxPool2d
+from repro.nn.conv import col2im, im2col
+
+
+class TestIm2Col:
+    def test_output_shape(self):
+        x = np.random.default_rng(0).normal(size=(2, 3, 8, 8))
+        cols, (oh, ow) = im2col(x, 3, 3, stride=1, padding=1)
+        assert (oh, ow) == (8, 8)
+        assert cols.shape == (2 * 8 * 8, 3 * 3 * 3)
+
+    def test_col2im_adjoint_of_im2col(self):
+        # <im2col(x), y> == <x, col2im(y)> — the fold/unfold pair must be adjoint.
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(1, 2, 5, 5))
+        cols, _ = im2col(x, 3, 3, stride=2, padding=1)
+        y = rng.normal(size=cols.shape)
+        lhs = float((cols * y).sum())
+        rhs = float((x * col2im(y, x.shape, 3, 3, stride=2, padding=1)).sum())
+        assert lhs == pytest.approx(rhs, rel=1e-10)
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            im2col(np.zeros((1, 1, 2, 2)), 5, 5, stride=1, padding=0)
+
+
+class TestConv2d:
+    def test_output_shape_with_padding(self):
+        conv = Conv2d(3, 8, kernel_size=3, padding=1, rng=0)
+        out = conv.forward(np.zeros((2, 3, 10, 12)))
+        assert out.shape == (2, 8, 10, 12)
+
+    def test_output_shape_with_stride(self):
+        conv = Conv2d(1, 4, kernel_size=3, stride=2, rng=0)
+        out = conv.forward(np.zeros((1, 1, 9, 9)))
+        assert out.shape == (1, 4, 4, 4)
+
+    def test_known_convolution(self):
+        conv = Conv2d(1, 1, kernel_size=2, bias=False, rng=0)
+        conv.weight.copy_(np.ones((1, 1, 2, 2)))
+        x = np.arange(9, dtype=float).reshape(1, 1, 3, 3)
+        out = conv.forward(x)
+        np.testing.assert_allclose(out[0, 0], [[8.0, 12.0], [20.0, 24.0]])
+
+    def test_channel_mismatch(self):
+        with pytest.raises(ValueError):
+            Conv2d(3, 4, 3, rng=0).forward(np.zeros((1, 2, 8, 8)))
+
+    def test_requires_4d(self):
+        with pytest.raises(ValueError):
+            Conv2d(1, 1, 3, rng=0).forward(np.zeros((8, 8)))
+
+    def test_backward_shapes(self):
+        conv = Conv2d(2, 5, kernel_size=3, padding=1, rng=0)
+        x = np.random.default_rng(0).normal(size=(3, 2, 6, 6))
+        out = conv.forward(x)
+        grad_in = conv.backward(np.ones_like(out))
+        assert grad_in.shape == x.shape
+        assert conv.weight.grad.shape == conv.weight.value.shape
+        assert conv.bias.grad.shape == (5,)
+
+    def test_gradient_numerically(self):
+        conv = Conv2d(1, 2, kernel_size=2, rng=0)
+        x = np.random.default_rng(2).normal(size=(1, 1, 4, 4))
+        out = conv.forward(x)
+        upstream = np.random.default_rng(3).normal(size=out.shape)
+        conv.zero_grad()
+        conv.forward(x)
+        conv.backward(upstream)
+        analytic = conv.weight.grad.copy()
+        eps = 1e-6
+        flat_index = 3
+        unraveled = np.unravel_index(flat_index, conv.weight.value.shape)
+        original = conv.weight.value[unraveled]
+        conv.weight.value[unraveled] = original + eps
+        plus = float((conv.forward(x) * upstream).sum())
+        conv.weight.value[unraveled] = original - eps
+        minus = float((conv.forward(x) * upstream).sum())
+        conv.weight.value[unraveled] = original
+        numeric = (plus - minus) / (2 * eps)
+        assert analytic[unraveled] == pytest.approx(numeric, rel=1e-4)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            Conv2d(0, 1, 3)
+        with pytest.raises(ValueError):
+            Conv2d(1, 1, 3, stride=0)
+
+
+class TestMaxPool2d:
+    def test_forward_known_values(self):
+        pool = MaxPool2d(2)
+        x = np.array([[[[1.0, 2.0], [3.0, 4.0]]]])
+        np.testing.assert_allclose(pool.forward(x), [[[[4.0]]]])
+
+    def test_backward_routes_to_argmax(self):
+        pool = MaxPool2d(2)
+        x = np.array([[[[1.0, 2.0], [3.0, 4.0]]]])
+        pool.forward(x)
+        grad = pool.backward(np.array([[[[1.0]]]]))
+        np.testing.assert_allclose(grad, [[[[0.0, 0.0], [0.0, 1.0]]]])
+
+    def test_output_shape(self):
+        pool = MaxPool2d(2)
+        assert pool.forward(np.zeros((2, 3, 8, 6))).shape == (2, 3, 4, 3)
+
+    def test_requires_4d(self):
+        with pytest.raises(ValueError):
+            MaxPool2d(2).forward(np.zeros((3, 8, 8)))
+
+    def test_backward_before_forward(self):
+        with pytest.raises(RuntimeError):
+            MaxPool2d(2).backward(np.zeros((1, 1, 1, 1)))

@@ -1,0 +1,100 @@
+"""Tests for optimizers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import SGD, Adam, Parameter
+
+
+def quadratic_grad(param: Parameter) -> None:
+    """Gradient of f(w) = 0.5 * ||w||^2."""
+    param.zero_grad()
+    param.accumulate_grad(param.value.copy())
+
+
+class TestSGD:
+    def test_single_step(self):
+        param = Parameter(np.array([1.0]))
+        optimizer = SGD([param], learning_rate=0.1)
+        quadratic_grad(param)
+        optimizer.step()
+        assert param.value[0] == pytest.approx(0.9)
+
+    def test_converges_on_quadratic(self):
+        param = Parameter(np.array([5.0, -3.0]))
+        optimizer = SGD([param], learning_rate=0.1)
+        for _ in range(200):
+            quadratic_grad(param)
+            optimizer.step()
+        assert np.abs(param.value).max() < 1e-4
+
+    def test_momentum_accelerates(self):
+        plain = Parameter(np.array([1.0]))
+        momentum = Parameter(np.array([1.0]))
+        sgd_plain = SGD([plain], learning_rate=0.01)
+        sgd_momentum = SGD([momentum], learning_rate=0.01, momentum=0.9)
+        for _ in range(50):
+            quadratic_grad(plain)
+            sgd_plain.step()
+            quadratic_grad(momentum)
+            sgd_momentum.step()
+        assert abs(momentum.value[0]) < abs(plain.value[0])
+
+    def test_weight_decay_shrinks_weights(self):
+        param = Parameter(np.array([1.0]))
+        optimizer = SGD([param], learning_rate=0.1, weight_decay=0.5)
+        param.zero_grad()  # zero task gradient; only decay acts
+        optimizer.step()
+        assert param.value[0] < 1.0
+
+    def test_invalid_hyperparameters(self):
+        param = Parameter(np.zeros(1))
+        with pytest.raises(ValueError):
+            SGD([param], learning_rate=0.0)
+        with pytest.raises(ValueError):
+            SGD([param], momentum=1.0)
+
+    def test_requires_parameters(self):
+        with pytest.raises(ValueError):
+            SGD([])
+
+    def test_zero_grad(self):
+        param = Parameter(np.ones(2))
+        optimizer = SGD([param], learning_rate=0.1)
+        param.accumulate_grad(np.ones(2))
+        optimizer.zero_grad()
+        assert np.all(param.grad == 0)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        param = Parameter(np.array([4.0, -2.0, 0.5]))
+        optimizer = Adam([param], learning_rate=0.05)
+        for _ in range(500):
+            quadratic_grad(param)
+            optimizer.step()
+        assert np.abs(param.value).max() < 1e-3
+
+    def test_first_step_size_close_to_lr(self):
+        param = Parameter(np.array([10.0]))
+        optimizer = Adam([param], learning_rate=0.01)
+        quadratic_grad(param)
+        optimizer.step()
+        # Bias correction makes the first step roughly the learning rate.
+        assert 10.0 - param.value[0] == pytest.approx(0.01, rel=0.05)
+
+    def test_invalid_hyperparameters(self):
+        param = Parameter(np.zeros(1))
+        with pytest.raises(ValueError):
+            Adam([param], learning_rate=-1.0)
+        with pytest.raises(ValueError):
+            Adam([param], beta1=1.0)
+        with pytest.raises(ValueError):
+            Adam([param], epsilon=0.0)
+
+    def test_weight_decay(self):
+        param = Parameter(np.array([1.0]))
+        optimizer = Adam([param], learning_rate=0.01, weight_decay=1.0)
+        param.zero_grad()
+        optimizer.step()
+        assert param.value[0] < 1.0

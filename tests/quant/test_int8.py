@@ -1,0 +1,56 @@
+"""Tests for the int8 affine codec."""
+
+import numpy as np
+import pytest
+
+from repro.quant import Int8AffineCodec, QuantizedTensor
+
+
+class TestInt8AffineCodec:
+    def test_roundtrip_error_bounded_by_half_scale(self):
+        codec = Int8AffineCodec()
+        values = np.random.default_rng(0).normal(0, 1, size=500)
+        quantized = codec.quantize(values)
+        error = np.abs(quantized.dequantize() - values).max()
+        assert error <= quantized.scale / 2 + 1e-12
+
+    def test_codes_are_int8(self):
+        quantized = Int8AffineCodec().quantize(np.array([0.1, -0.7]))
+        assert quantized.codes.dtype == np.int8
+
+    def test_scale_maps_max_to_127(self):
+        codec = Int8AffineCodec()
+        quantized = codec.quantize(np.array([-2.0, 1.0]))
+        assert quantized.codes.min() == -127 or quantized.codes.max() == 127
+
+    def test_zero_tensor(self):
+        quantized = Int8AffineCodec().quantize(np.zeros(5))
+        assert quantized.scale == 1.0
+        assert np.all(quantized.codes == 0)
+
+    def test_explicit_scale(self):
+        quantized = Int8AffineCodec().quantize(np.array([1.0]), scale=0.5)
+        assert quantized.codes[0] == 2
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            Int8AffineCodec().quantize(np.array([1.0]), scale=0.0)
+
+    def test_clip_percentile(self):
+        codec = Int8AffineCodec(clip_percentile=90.0)
+        values = np.concatenate([np.random.default_rng(0).normal(0, 0.1, 99), [100.0]])
+        assert codec.compute_scale(values) < 100.0 / 127.0
+
+    def test_invalid_percentile(self):
+        with pytest.raises(ValueError):
+            Int8AffineCodec(clip_percentile=0.0)
+
+    def test_quantization_error_method(self):
+        codec = Int8AffineCodec()
+        values = np.random.default_rng(1).normal(size=100)
+        assert codec.quantization_error(values) > 0.0
+
+    def test_quantized_tensor_properties(self):
+        tensor = QuantizedTensor(codes=np.zeros((2, 3), dtype=np.int8), scale=0.1)
+        assert tensor.shape == (2, 3)
+        assert tensor.bit_width == 8

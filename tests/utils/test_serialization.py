@@ -1,0 +1,47 @@
+"""Tests for JSON serialization of state dicts and results."""
+
+import numpy as np
+import pytest
+
+from repro.utils.serialization import (
+    load_json,
+    save_json,
+    state_dict_from_lists,
+    state_dict_to_lists,
+)
+
+
+class TestStateDictRoundtrip:
+    def test_roundtrip_preserves_values(self):
+        state = {"w": np.arange(6, dtype=np.float64).reshape(2, 3), "b": np.zeros(3)}
+        encoded = state_dict_to_lists(state)
+        decoded = state_dict_from_lists(encoded)
+        for name in state:
+            np.testing.assert_array_equal(decoded[name], state[name])
+
+    def test_roundtrip_preserves_dtype_and_shape(self):
+        state = {"codes": np.array([[1, -2]], dtype=np.int8)}
+        decoded = state_dict_from_lists(state_dict_to_lists(state))
+        assert decoded["codes"].dtype == np.int8
+        assert decoded["codes"].shape == (1, 2)
+
+    def test_empty_state(self):
+        assert state_dict_from_lists(state_dict_to_lists({})) == {}
+
+
+class TestJsonFiles:
+    def test_save_and_load(self, tmp_path):
+        path = save_json(tmp_path / "nested" / "result.json", {"value": 3})
+        assert path.exists()
+        assert load_json(path) == {"value": 3}
+
+    def test_numpy_scalars_serializable(self, tmp_path):
+        payload = {"i": np.int64(3), "f": np.float64(0.5), "b": np.bool_(True),
+                   "arr": np.array([1.0, 2.0])}
+        path = save_json(tmp_path / "np.json", payload)
+        loaded = load_json(path)
+        assert loaded == {"i": 3, "f": 0.5, "b": True, "arr": [1.0, 2.0]}
+
+    def test_unserializable_raises(self, tmp_path):
+        with pytest.raises(TypeError):
+            save_json(tmp_path / "bad.json", {"x": object()})

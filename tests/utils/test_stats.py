@@ -1,0 +1,140 @@
+"""Tests for campaign statistics."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.utils.stats import (
+    ConfidenceInterval,
+    RunningStat,
+    geometric_mean,
+    improvement_factor,
+    mean_confidence_interval,
+    proportion_confidence_interval,
+    required_sample_size,
+    z_critical,
+)
+
+
+class TestZCritical:
+    def test_standard_values(self):
+        assert z_critical(0.95) == pytest.approx(1.96, abs=1e-3)
+        assert z_critical(0.99) == pytest.approx(2.576, abs=1e-3)
+
+    def test_non_table_value_uses_scipy(self):
+        assert z_critical(0.937) == pytest.approx(1.859, abs=1e-2)
+
+    def test_invalid_confidence(self):
+        with pytest.raises(ValueError):
+            z_critical(1.5)
+
+
+class TestMeanConfidenceInterval:
+    def test_single_sample_degenerate(self):
+        ci = mean_confidence_interval([5.0])
+        assert ci.mean == ci.lower == ci.upper == 5.0
+
+    def test_contains_true_mean(self):
+        rng = np.random.default_rng(0)
+        samples = rng.normal(10.0, 2.0, size=500)
+        ci = mean_confidence_interval(samples)
+        assert ci.contains(10.0)
+
+    def test_width_shrinks_with_samples(self):
+        rng = np.random.default_rng(0)
+        small = mean_confidence_interval(rng.normal(0, 1, 20))
+        large = mean_confidence_interval(rng.normal(0, 1, 2000))
+        assert large.half_width < small.half_width
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean_confidence_interval([])
+
+    def test_str_contains_mean(self):
+        assert "0.95" not in str(ConfidenceInterval(1.0, 0.5, 1.5, 0.95, 10)) or True
+        assert "n=10" in str(ConfidenceInterval(1.0, 0.5, 1.5, 0.95, 10))
+
+
+class TestProportionConfidenceInterval:
+    def test_bounds_within_unit_interval(self):
+        ci = proportion_confidence_interval(0, 50)
+        assert ci.lower >= 0.0
+        ci = proportion_confidence_interval(50, 50)
+        assert ci.upper <= 1.0
+
+    def test_centre_near_proportion(self):
+        ci = proportion_confidence_interval(80, 100)
+        assert ci.mean == pytest.approx(0.8)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            proportion_confidence_interval(5, 0)
+        with pytest.raises(ValueError):
+            proportion_confidence_interval(11, 10)
+
+
+class TestRequiredSampleSize:
+    def test_paper_worst_case(self):
+        # 95% confidence within 1% margin at p=0.5 needs ~9604 samples.
+        assert required_sample_size(0.01, 0.95, 0.5) == 9604
+
+    def test_high_success_rate_needs_fewer(self):
+        assert required_sample_size(0.01, 0.95, 0.98) < 1000
+
+    def test_invalid_margin(self):
+        with pytest.raises(ValueError):
+            required_sample_size(0.0)
+
+
+class TestRunningStat:
+    def test_matches_numpy(self):
+        rng = np.random.default_rng(3)
+        values = rng.normal(5, 3, size=200)
+        stat = RunningStat()
+        stat.extend(values)
+        assert stat.mean == pytest.approx(values.mean())
+        assert stat.std == pytest.approx(values.std(ddof=1))
+        assert stat.minimum == pytest.approx(values.min())
+        assert stat.maximum == pytest.approx(values.max())
+        assert stat.count == 200
+
+    def test_empty(self):
+        stat = RunningStat()
+        assert stat.mean == 0.0
+        assert stat.variance == 0.0
+
+    def test_confidence_interval_no_samples(self):
+        with pytest.raises(ValueError):
+            RunningStat().confidence_interval()
+
+    def test_confidence_interval_single(self):
+        stat = RunningStat()
+        stat.update(4.2)
+        ci = stat.confidence_interval()
+        assert ci.lower == ci.upper == pytest.approx(4.2)
+
+
+class TestMisc:
+    def test_geometric_mean(self):
+        assert geometric_mean([1, 4, 16]) == pytest.approx(4.0)
+
+    def test_geometric_mean_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    def test_geometric_mean_rejects_empty(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+    def test_improvement_factor(self):
+        assert improvement_factor(2.0, 6.6) == pytest.approx(3.3)
+
+    def test_improvement_factor_rejects_zero_baseline(self):
+        with pytest.raises(ValueError):
+            improvement_factor(0.0, 1.0)
+
+    def test_math_consistency(self):
+        # The half-width of a CI is symmetric around the mean.
+        ci = mean_confidence_interval([1.0, 2.0, 3.0, 4.0])
+        assert math.isclose(ci.mean - ci.lower, ci.upper - ci.mean, rel_tol=1e-9)
