@@ -49,8 +49,21 @@ DRONE_BERS = (0.0, 1e-2, 1e-1)
 DRONE_EPISODE_FRACTIONS = (0.5,)
 
 # One shared on-disk cache so the baseline policies are trained exactly once
-# per benchmark session.
+# per benchmark session; campaign workers read the same directory.
 BENCH_CACHE = PolicyCache(Path(__file__).resolve().parent / ".bench_cache")
+
+
+def run_plan(plan, workers: int = 1):
+    """Execute a campaign plan with ``workers`` processes (1 = serial).
+
+    The campaign runner merges cell outputs in deterministic plan order, so
+    the result is byte-identical at any worker count — benchmarks use it to
+    trade wall clock only.  Scales and cache are baked into the plan by its
+    builder; the runner only supplies the executor.
+    """
+    from repro.runtime.runner import CampaignRunner
+
+    return CampaignRunner(workers=workers).run_plan(plan)
 
 
 def save_result(name: str, result) -> None:

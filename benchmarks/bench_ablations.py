@@ -6,7 +6,6 @@ cadence, smoothing-average weight).
 """
 
 import numpy as np
-import pytest
 
 from benchmarks._common import BENCH_CACHE, BENCH_GRIDWORLD_SCALE, save_result
 from repro.core import experiments

@@ -4,6 +4,10 @@ Regenerates the success-rate heatmaps over (BER x fault-injection episode) for
 FRL agent faults, FRL server faults and the single-agent baseline.  The paper
 observations checked here: higher BER degrades success rate, and the no-fault
 row stays near the clean baseline.
+
+Each heatmap runs as a campaign of independent (BER, episode) cells; pass
+``--workers N`` to pytest to fan the cells out over N processes (the merged
+result is byte-identical to the serial run).
 """
 
 import pytest
@@ -12,25 +16,27 @@ from benchmarks._common import (
     BENCH_GRIDWORLD_SCALE,
     GRIDWORLD_BERS,
     GRIDWORLD_EPISODE_FRACTIONS,
+    run_plan,
     save_result,
 )
 from repro.analysis import check_heatmap_trend
-from repro.core import experiments
+from repro.core.experiments.gridworld_training import gridworld_training_plan
 
 
-def _run(location: str):
-    return experiments.gridworld_training_heatmap(
+def _run(location: str, workers: int):
+    plan = gridworld_training_plan(
         location,
         scale=BENCH_GRIDWORLD_SCALE,
         ber_values=GRIDWORLD_BERS,
         episode_fractions=GRIDWORLD_EPISODE_FRACTIONS,
     )
+    return run_plan(plan, workers=workers)
 
 
 @pytest.mark.parametrize("location,figure", [("agent", "fig3a"), ("server", "fig3b"),
                                              ("single", "fig3c")])
-def test_fig3_training_heatmap(benchmark, location, figure):
-    result = benchmark.pedantic(_run, args=(location,), rounds=1, iterations=1)
+def test_fig3_training_heatmap(benchmark, campaign_workers, location, figure):
+    result = benchmark.pedantic(_run, args=(location, campaign_workers), rounds=1, iterations=1)
     save_result(figure, result)
     assert result.values.shape == (len(GRIDWORLD_BERS), len(GRIDWORLD_EPISODE_FRACTIONS))
     trend = check_heatmap_trend(result, tolerance=0.25)

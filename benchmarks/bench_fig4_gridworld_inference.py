@@ -1,17 +1,20 @@
 """Fig. 4 — GridWorld inference faults: Trans-1 vs Trans-M, multi vs single agent."""
 
-from benchmarks._common import BENCH_CACHE, BENCH_GRIDWORLD_SCALE, save_result
+from benchmarks._common import BENCH_CACHE, BENCH_GRIDWORLD_SCALE, run_plan, save_result
 from repro.analysis import check_series_order
-from repro.core import experiments
+from repro.core.experiments.gridworld_inference import gridworld_inference_plan
 
 
-def test_fig4_inference_sweep(benchmark):
+def test_fig4_inference_sweep(benchmark, campaign_workers):
     result = benchmark.pedantic(
-        lambda: experiments.gridworld_inference_sweep(
-            scale=BENCH_GRIDWORLD_SCALE,
-            ber_values=(0.0, 0.005, 0.01, 0.02),
-            cache=BENCH_CACHE,
-            repeats=2,
+        lambda: run_plan(
+            gridworld_inference_plan(
+                scale=BENCH_GRIDWORLD_SCALE,
+                ber_values=(0.0, 0.005, 0.01, 0.02),
+                cache=BENCH_CACHE,
+                repeats=2,
+            ),
+            workers=campaign_workers,
         ),
         rounds=1,
         iterations=1,

@@ -1,7 +1,5 @@
 """Fig. 7 — training-time fault recovery with server checkpointing."""
 
-import pytest
-
 from benchmarks._common import (
     BENCH_CACHE,
     BENCH_DRONE_SCALE,

@@ -1,0 +1,34 @@
+"""Benchmark harness options.
+
+``--workers N`` runs the campaign-decomposable benchmarks through the
+parallel :class:`repro.runtime.CampaignRunner` instead of the serial
+experiment functions.  ``N=0`` picks a machine-sized default; the merged
+results are byte-identical either way, only the wall clock changes.  The
+``FRLFI_BENCH_WORKERS`` environment variable is the equivalent knob for
+environments that cannot pass pytest options (e.g. CI matrices).
+"""
+
+import os
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--workers",
+        action="store",
+        type=int,
+        default=int(os.environ.get("FRLFI_BENCH_WORKERS", "1")),
+        help="campaign worker processes for decomposable benchmarks "
+        "(1 = serial, 0 = machine-sized default)",
+    )
+
+
+@pytest.fixture(scope="session")
+def campaign_workers(request) -> int:
+    workers = request.config.getoption("--workers")
+    if workers == 0:
+        from repro.runtime.runner import default_worker_count
+
+        return default_worker_count()
+    return max(1, workers)

@@ -1,12 +1,36 @@
-"""Pytest bootstrap: make the in-tree ``src`` layout importable.
+"""Pytest bootstrap: make the in-tree ``src`` layout importable and register
+hypothesis profiles.
 
-This keeps ``pytest`` working even when the package has not been installed
-(e.g. offline environments where editable installs are unavailable).
+The path shim keeps ``pytest`` working even when the package has not been
+installed (e.g. offline environments where editable installs are
+unavailable).
+
+Two hypothesis profiles are registered:
+
+* ``ci``  — derandomized with a fixed seed and bounded examples, so property
+  failures reproduce exactly across CI runs and local triage;
+* ``dev`` — a smaller example budget for fast local iteration.
+
+Select one with ``HYPOTHESIS_PROFILE=ci pytest ...`` (the CI workflow does);
+the default profile stays untouched otherwise.
 """
 
+import os
 import sys
 from pathlib import Path
 
 _SRC = Path(__file__).resolve().parent / "src"
 if str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
+
+try:
+    from hypothesis import settings
+except ImportError:  # pragma: no cover - hypothesis is a test-only dependency
+    pass
+else:
+    settings.register_profile("ci", derandomize=True, max_examples=50, deadline=None,
+                              print_blob=True)
+    settings.register_profile("dev", max_examples=15, deadline=None)
+    _profile = os.environ.get("HYPOTHESIS_PROFILE")
+    if _profile:
+        settings.load_profile(_profile)

@@ -4,14 +4,13 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Sequence
 
-import numpy as np
-
 from repro.core.config import DroneScale
 from repro.core.fault_callbacks import make_training_fault
 from repro.core.pretrained import PolicyCache, default_cache
 from repro.core.results import HeatmapResult, SweepResult
 from repro.core.workloads import build_drone_frl_system, build_drone_single_system
 from repro.federated import CommunicationSchedule
+from repro.runtime.cells import CampaignPlan, CellTask, accumulate_heatmap, grid_merge_order
 from repro.utils.rng import RngFactory
 
 DEFAULT_DRONE_BERS = (0.0, 1e-3, 1e-2, 1e-1)
@@ -31,6 +30,91 @@ def _build_system(scale: DroneScale, location: str, initial_state, seed_offset: 
     return build_drone_frl_system(scale, seed_offset=seed_offset, initial_state=initial_state)
 
 
+def drone_training_cell(
+    location: str,
+    scale: DroneScale,
+    pretrained: dict,
+    ber: float,
+    injection_episode: int,
+    repeat: int,
+    row: int,
+    column: int,
+) -> float:
+    """One (repeat, BER, injection-episode) cell of the Fig. 5 heatmaps."""
+    system = _build_system(scale, location, pretrained, seed_offset=repeat)
+    fault_location = "server" if location == "server" else "agent"
+    callback = make_training_fault(
+        location=fault_location,
+        bit_error_rate=ber,
+        injection_episode=injection_episode,
+        datatype=scale.datatype,
+        rng=RngFactory(scale.seed).stream("drone-fi", repeat, row, column),
+    )
+    system.train(scale.fine_tune_episodes, callbacks=[callback])
+    return system.average_flight_distance(attempts=scale.evaluation_attempts)
+
+
+def drone_training_plan(
+    location: str = "server",
+    scale: Optional[DroneScale] = None,
+    ber_values: Sequence[float] = DEFAULT_DRONE_BERS,
+    episode_fractions: Sequence[float] = DEFAULT_EPISODE_FRACTIONS,
+    cache: Optional[PolicyCache] = None,
+) -> CampaignPlan:
+    """Decompose a Fig. 5 heatmap into independent campaign cells.
+
+    The behaviour-cloned baseline policy is resolved through the disk-backed
+    policy cache once, at plan time, and shipped to every cell by value.
+    """
+    scale = scale or DroneScale.fast()
+    if location not in ("agent", "server", "single"):
+        raise ValueError(f"location must be 'agent', 'server' or 'single', got {location!r}")
+    cache = cache or default_cache()
+    ber_values = tuple(ber_values)
+    pretrained = cache.drone_policy(scale)["policy"]
+    episodes = _injection_episodes(scale, episode_fractions)
+    experiment_id = {"agent": "fig5a", "server": "fig5b", "single": "fig5c"}[location]
+    cells = [
+        CellTask(
+            experiment_id=experiment_id,
+            key=("repeat", repeat, "ber", row, "episode", column),
+            fn=drone_training_cell,
+            kwargs={
+                "location": location,
+                "scale": scale,
+                "pretrained": pretrained,
+                "ber": ber_values[row],
+                "injection_episode": episodes[column],
+                "repeat": repeat,
+                "row": row,
+                "column": column,
+            },
+        )
+        for repeat, row, column in grid_merge_order(scale.repeats, len(ber_values), len(episodes))
+    ]
+
+    def merge(outputs):
+        values = accumulate_heatmap(outputs, scale.repeats, len(ber_values), len(episodes))
+        values /= scale.repeats
+        title = {
+            "agent": "DroneNav fine-tuning, agent faults (Fig. 5a)",
+            "server": "DroneNav fine-tuning, server faults (Fig. 5b)",
+            "single": "DroneNav fine-tuning, single-drone system (Fig. 5c)",
+        }[location]
+        return HeatmapResult(
+            title=title,
+            metric="safe flight distance (m)",
+            row_axis="BER",
+            column_axis="episode",
+            row_labels=[f"{ber:g}" for ber in ber_values],
+            column_labels=list(episodes),
+            values=values,
+            metadata={"location": location},
+        )
+
+    return CampaignPlan(experiment_id=experiment_id, cells=cells, merge=merge)
+
+
 def drone_training_heatmap(
     location: str = "server",
     scale: Optional[DroneScale] = None,
@@ -43,47 +127,9 @@ def drone_training_heatmap(
     ``location`` selects the paper's panels: ``"agent"`` (Fig. 5a),
     ``"server"`` (Fig. 5b) and ``"single"`` (Fig. 5c).  Fine-tuning starts
     from the offline pre-trained policy, matching the paper's transfer-learning
-    setup.
+    setup.  Implemented as the serial execution of :func:`drone_training_plan`.
     """
-    scale = scale or DroneScale.fast()
-    if location not in ("agent", "server", "single"):
-        raise ValueError(f"location must be 'agent', 'server' or 'single', got {location!r}")
-    cache = cache or default_cache()
-    pretrained = cache.drone_policy(scale)["policy"]
-    episodes = _injection_episodes(scale, episode_fractions)
-    values = np.zeros((len(ber_values), len(episodes)))
-    for repeat in range(scale.repeats):
-        for row, ber in enumerate(ber_values):
-            for column, injection_episode in enumerate(episodes):
-                system = _build_system(scale, location, pretrained, seed_offset=repeat)
-                fault_location = "server" if location == "server" else "agent"
-                callback = make_training_fault(
-                    location=fault_location,
-                    bit_error_rate=ber,
-                    injection_episode=injection_episode,
-                    datatype=scale.datatype,
-                    rng=RngFactory(scale.seed).stream("drone-fi", repeat, row, column),
-                )
-                system.train(scale.fine_tune_episodes, callbacks=[callback])
-                values[row, column] += system.average_flight_distance(
-                    attempts=scale.evaluation_attempts
-                )
-    values /= scale.repeats
-    title = {
-        "agent": "DroneNav fine-tuning, agent faults (Fig. 5a)",
-        "server": "DroneNav fine-tuning, server faults (Fig. 5b)",
-        "single": "DroneNav fine-tuning, single-drone system (Fig. 5c)",
-    }[location]
-    return HeatmapResult(
-        title=title,
-        metric="safe flight distance (m)",
-        row_axis="BER",
-        column_axis="episode",
-        row_labels=[f"{ber:g}" for ber in ber_values],
-        column_labels=list(episodes),
-        values=values,
-        metadata={"location": location},
-    )
+    return drone_training_plan(location, scale, ber_values, episode_fractions, cache).run_serial()
 
 
 def drone_count_sweep(

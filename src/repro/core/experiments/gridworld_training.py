@@ -4,14 +4,13 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
-import numpy as np
-
 from repro.core.config import GridWorldScale
 from repro.core.fault_callbacks import make_training_fault
 from repro.core.results import HeatmapResult, SweepResult, TableResult
 from repro.core.workloads import build_gridworld_frl_system, build_gridworld_single_system
 from repro.quant.bitstats import bit_breakdown
 from repro.rl.policy import consensus_policy_std
+from repro.runtime.cells import CampaignPlan, CellTask, accumulate_heatmap, grid_merge_order
 from repro.utils.rng import RngFactory
 
 DEFAULT_BERS = (0.0, 0.005, 0.01, 0.02)
@@ -28,6 +27,91 @@ def _build_system(scale: GridWorldScale, location: str, seed_offset: int):
     return build_gridworld_frl_system(scale, seed_offset=seed_offset)
 
 
+def gridworld_training_cell(
+    location: str,
+    scale: GridWorldScale,
+    ber: float,
+    injection_episode: int,
+    repeat: int,
+    row: int,
+    column: int,
+) -> float:
+    """One (repeat, BER, injection-episode) cell of the Fig. 3 heatmaps.
+
+    Builds a fresh system, trains it with the fault callback and returns the
+    evaluated success rate.  All randomness comes from streams keyed by the
+    cell coordinates, so the cell yields the same value no matter which
+    process executes it.
+    """
+    system = _build_system(scale, location, seed_offset=repeat)
+    fault_location = "server" if location == "server" else "agent"
+    callback = make_training_fault(
+        location=fault_location,
+        bit_error_rate=ber,
+        injection_episode=injection_episode,
+        datatype=scale.datatype,
+        rng=RngFactory(scale.seed).stream("fi", repeat, row, column),
+    )
+    system.train(scale.episodes, callbacks=[callback])
+    return system.average_success_rate(attempts=scale.evaluation_attempts)
+
+
+def gridworld_training_plan(
+    location: str = "server",
+    scale: Optional[GridWorldScale] = None,
+    ber_values: Sequence[float] = DEFAULT_BERS,
+    episode_fractions: Sequence[float] = DEFAULT_EPISODE_FRACTIONS,
+) -> CampaignPlan:
+    """Decompose a Fig. 3 heatmap into independent campaign cells."""
+    scale = scale or GridWorldScale.fast()
+    if location not in ("agent", "server", "single"):
+        raise ValueError(f"location must be 'agent', 'server' or 'single', got {location!r}")
+    ber_values = tuple(ber_values)
+    episodes = _injection_episodes(scale, episode_fractions)
+    experiment_id = {"agent": "fig3a", "server": "fig3b", "single": "fig3c"}[location]
+    cells = [
+        CellTask(
+            experiment_id=experiment_id,
+            key=("repeat", repeat, "ber", row, "episode", column),
+            fn=gridworld_training_cell,
+            kwargs={
+                "location": location,
+                "scale": scale,
+                "ber": ber_values[row],
+                "injection_episode": episodes[column],
+                "repeat": repeat,
+                "row": row,
+                "column": column,
+            },
+        )
+        for repeat, row, column in grid_merge_order(scale.repeats, len(ber_values), len(episodes))
+    ]
+
+    def merge(outputs):
+        values = accumulate_heatmap(outputs, scale.repeats, len(ber_values), len(episodes))
+        values = values / scale.repeats * 100.0
+        title = {
+            "agent": "GridWorld training, agent faults (Fig. 3a)",
+            "server": "GridWorld training, server faults (Fig. 3b)",
+            "single": "GridWorld training, single-agent system (Fig. 3c)",
+        }[location]
+        return HeatmapResult(
+            title=title,
+            metric="success rate (%)",
+            row_axis="BER",
+            column_axis="episode",
+            row_labels=[f"{ber:.3%}" for ber in ber_values],
+            column_labels=list(episodes),
+            values=values,
+            metadata={
+                "location": location,
+                "scale": "fast" if scale == GridWorldScale.fast() else "custom",
+            },
+        )
+
+    return CampaignPlan(experiment_id=experiment_id, cells=cells, merge=merge)
+
+
 def gridworld_training_heatmap(
     location: str = "server",
     scale: Optional[GridWorldScale] = None,
@@ -38,45 +122,11 @@ def gridworld_training_heatmap(
 
     ``location`` selects the paper's three panels: ``"agent"`` (Fig. 3a),
     ``"server"`` (Fig. 3b) and ``"single"`` — the single-agent system with
-    the fault applied directly to its policy (Fig. 3c).
+    the fault applied directly to its policy (Fig. 3c).  Internally the sweep
+    is the serial execution of :func:`gridworld_training_plan`, so its output
+    is bit-identical to the parallel campaign runner's.
     """
-    scale = scale or GridWorldScale.fast()
-    if location not in ("agent", "server", "single"):
-        raise ValueError(f"location must be 'agent', 'server' or 'single', got {location!r}")
-    episodes = _injection_episodes(scale, episode_fractions)
-    values = np.zeros((len(ber_values), len(episodes)))
-    for repeat in range(scale.repeats):
-        for row, ber in enumerate(ber_values):
-            for column, injection_episode in enumerate(episodes):
-                system = _build_system(scale, location, seed_offset=repeat)
-                fault_location = "server" if location == "server" else "agent"
-                callback = make_training_fault(
-                    location=fault_location,
-                    bit_error_rate=ber,
-                    injection_episode=injection_episode,
-                    datatype=scale.datatype,
-                    rng=RngFactory(scale.seed).stream("fi", repeat, row, column),
-                )
-                system.train(scale.episodes, callbacks=[callback])
-                values[row, column] += system.average_success_rate(
-                    attempts=scale.evaluation_attempts
-                )
-    values = values / scale.repeats * 100.0
-    title = {
-        "agent": "GridWorld training, agent faults (Fig. 3a)",
-        "server": "GridWorld training, server faults (Fig. 3b)",
-        "single": "GridWorld training, single-agent system (Fig. 3c)",
-    }[location]
-    return HeatmapResult(
-        title=title,
-        metric="success rate (%)",
-        row_axis="BER",
-        column_axis="episode",
-        row_labels=[f"{ber:.3%}" for ber in ber_values],
-        column_labels=list(episodes),
-        values=values,
-        metadata={"location": location, "scale": "fast" if scale == GridWorldScale.fast() else "custom"},
-    )
+    return gridworld_training_plan(location, scale, ber_values, episode_fractions).run_serial()
 
 
 def convergence_after_fault(
@@ -134,32 +184,55 @@ def convergence_after_fault(
     )
 
 
+def policy_std_cell(scale: GridWorldScale, agent_count: int) -> list:
+    """One Table I row: train a system of ``agent_count`` agents, report std."""
+    if agent_count == 1:
+        system = build_gridworld_single_system(scale, environment_count=1)
+        system.train(scale.episodes)
+        label = "Single-agent"
+    else:
+        system = build_gridworld_frl_system(scale.with_agents(agent_count))
+        system.train(scale.episodes)
+        label = f"Multi-agent (n={agent_count})"
+    return [label, consensus_policy_std(system.consensus_state())]
+
+
+def policy_std_plan(
+    scale: Optional[GridWorldScale] = None,
+    agent_counts: Sequence[int] = (1, 4, 8, 12),
+) -> CampaignPlan:
+    """Decompose Table I into one cell per system size."""
+    scale = scale or GridWorldScale.fast()
+    agent_counts = tuple(agent_counts)
+    if any(count <= 0 for count in agent_counts):
+        raise ValueError("agent counts must be positive")
+    cells = [
+        CellTask(
+            experiment_id="table1",
+            key=("agents", count),
+            fn=policy_std_cell,
+            kwargs={"scale": scale, "agent_count": count},
+        )
+        for count in agent_counts
+    ]
+
+    def merge(outputs):
+        return TableResult(
+            title="Std of the consensus policy (Table I)",
+            headers=["system", "policy std"],
+            rows=list(outputs),
+            metadata={"episodes": scale.episodes},
+        )
+
+    return CampaignPlan(experiment_id="table1", cells=cells, merge=merge)
+
+
 def policy_std_table(
     scale: Optional[GridWorldScale] = None,
     agent_counts: Sequence[int] = (1, 4, 8, 12),
 ) -> TableResult:
     """Standard deviation of the consensus policy (paper Table I)."""
-    scale = scale or GridWorldScale.fast()
-    rows = []
-    for count in agent_counts:
-        if count <= 0:
-            raise ValueError("agent counts must be positive")
-        if count == 1:
-            system = build_gridworld_single_system(scale, environment_count=1)
-            system.train(scale.episodes)
-            label = "Single-agent"
-        else:
-            system = build_gridworld_frl_system(scale.with_agents(count))
-            system.train(scale.episodes)
-            label = f"Multi-agent (n={count})"
-        std = consensus_policy_std(system.consensus_state())
-        rows.append([label, std])
-    return TableResult(
-        title="Std of the consensus policy (Table I)",
-        headers=["system", "policy std"],
-        rows=rows,
-        metadata={"episodes": scale.episodes},
-    )
+    return policy_std_plan(scale, agent_counts).run_serial()
 
 
 def weight_distribution(

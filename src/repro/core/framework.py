@@ -5,6 +5,13 @@ policy cache and the per-figure experiment functions behind a single object,
 so examples, benchmarks and downstream users can run any paper artifact by
 its identifier (``"fig3a"``, ``"table1"``, ...) and collect the results into
 an experiment report.
+
+Artifacts with a cell decomposition are resolved through the campaign plan
+builders in :mod:`repro.runtime.plans` — the single source of truth for their
+parameters — so ``run(experiment_id)`` and a parallel
+:class:`~repro.runtime.runner.CampaignRunner` can never diverge.  Only the
+artifacts without a decomposition (cheap or inherently sequential ones) keep
+local registry entries here.
 """
 
 from __future__ import annotations
@@ -29,36 +36,14 @@ class FaultCharacterizationFramework:
         self.drone_scale = drone_scale or DroneScale.fast()
         self.cache = cache or default_cache()
         self.results: Dict[str, object] = {}
+        # Whole-experiment entries for the artifacts without a cell
+        # decomposition; everything else routes through repro.runtime.plans.
         self._registry: Dict[str, Callable[[], object]] = {
-            "fig3a": lambda: experiments.gridworld_training_heatmap(
-                "agent", scale=self.gridworld_scale
-            ),
-            "fig3b": lambda: experiments.gridworld_training_heatmap(
-                "server", scale=self.gridworld_scale
-            ),
-            "fig3c": lambda: experiments.gridworld_training_heatmap(
-                "single", scale=self.gridworld_scale
-            ),
             "fig3d": lambda: experiments.weight_distribution(
                 scale=self.gridworld_scale,
                 consensus=self.cache.gridworld_policies(self.gridworld_scale)["consensus"],
             ),
             "fig3e": lambda: experiments.convergence_after_fault(scale=self.gridworld_scale),
-            "table1": lambda: experiments.policy_std_table(
-                scale=self.gridworld_scale, agent_counts=(1, 4, 8)
-            ),
-            "fig4": lambda: experiments.gridworld_inference_sweep(
-                scale=self.gridworld_scale, cache=self.cache
-            ),
-            "fig5a": lambda: experiments.drone_training_heatmap(
-                "agent", scale=self.drone_scale, cache=self.cache
-            ),
-            "fig5b": lambda: experiments.drone_training_heatmap(
-                "server", scale=self.drone_scale, cache=self.cache
-            ),
-            "fig5c": lambda: experiments.drone_training_heatmap(
-                "single", scale=self.drone_scale, cache=self.cache
-            ),
             "fig6a": lambda: experiments.drone_count_sweep(
                 scale=self.drone_scale, drone_counts=(2, 4), cache=self.cache
             ),
@@ -68,41 +53,66 @@ class FaultCharacterizationFramework:
             "datatypes": lambda: experiments.datatype_study(
                 scale=self.drone_scale, cache=self.cache
             ),
-            "fig7a": lambda: experiments.training_mitigation_heatmap(
-                "gridworld", "server", scale=self.gridworld_scale, cache=self.cache
-            ),
-            "fig7b": lambda: experiments.training_mitigation_heatmap(
-                "drone", "server", scale=self.drone_scale, cache=self.cache
-            ),
-            "fig8a": lambda: experiments.inference_mitigation_sweep(
-                "gridworld", scale=self.gridworld_scale, cache=self.cache
-            ),
-            "fig8b": lambda: experiments.inference_mitigation_sweep(
-                "drone", scale=self.drone_scale, cache=self.cache
-            ),
             "fig9": lambda: experiments.overhead_comparison(),
         }
+
+    def _context(self):
+        from repro.runtime.plans import CampaignContext
+
+        return CampaignContext(
+            gridworld_scale=self.gridworld_scale,
+            drone_scale=self.drone_scale,
+            cache=self.cache,
+        )
 
     @property
     def experiment_ids(self) -> list:
         """Identifiers of every reproducible paper artifact."""
-        return sorted(self._registry)
+        from repro.runtime.plans import plannable_experiment_ids
 
-    def run(self, experiment_id: str):
-        """Run one experiment by its paper-artifact identifier."""
-        if experiment_id not in self._registry:
+        return sorted(set(self._registry) | set(plannable_experiment_ids()))
+
+    def run(self, experiment_id: str, workers: Optional[int] = None):
+        """Run one experiment by its paper-artifact identifier.
+
+        ``workers`` > 1 decomposes the experiment into independent campaign
+        cells and fans them out over a process pool through
+        :class:`repro.runtime.CampaignRunner`; the merged result is
+        byte-identical to the serial run.
+        """
+        if experiment_id not in self.experiment_ids:
             raise KeyError(
                 f"unknown experiment {experiment_id!r}; available: {self.experiment_ids}"
             )
-        result = self._registry[experiment_id]()
+        if workers is not None and workers > 1:
+            result = self._campaign_runner(workers).run(experiment_id)
+        elif experiment_id in self._registry:
+            result = self._registry[experiment_id]()
+        else:
+            from repro.runtime.plans import build_plan
+
+            result = build_plan(experiment_id, self._context()).run_serial()
         self.results[experiment_id] = result
         return result
 
-    def run_all(self, experiment_ids: Optional[list] = None) -> Dict[str, object]:
+    def run_all(
+        self, experiment_ids: Optional[list] = None, workers: Optional[int] = None
+    ) -> Dict[str, object]:
         """Run several experiments (default: all) and return the result map."""
         for experiment_id in experiment_ids or self.experiment_ids:
-            self.run(experiment_id)
+            self.run(experiment_id, workers=workers)
         return dict(self.results)
+
+    def _campaign_runner(self, workers: int):
+        """A campaign runner sharing this framework's scales and policy cache."""
+        from repro.runtime.runner import CampaignRunner
+
+        return CampaignRunner(
+            gridworld_scale=self.gridworld_scale,
+            drone_scale=self.drone_scale,
+            cache=self.cache,
+            workers=workers,
+        )
 
     def report(self) -> str:
         """Plain-text report of every result collected so far."""

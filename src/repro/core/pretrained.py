@@ -24,6 +24,7 @@ from repro.core.config import DroneScale, GridWorldScale
 from repro.core.workloads import (
     build_drone_frl_system,
     build_gridworld_frl_system,
+    build_gridworld_single_system,
     drone_environments,
 )
 from repro.rl.pretrain import PretrainConfig, behaviour_clone
@@ -98,6 +99,25 @@ class PolicyCache:
             },
         )
         return {"consensus": consensus, "agents": agents, "success_rate": success_rate}
+
+    def gridworld_single_policy(self, scale: GridWorldScale, refresh: bool = False) -> StateDict:
+        """Trained single-agent GridWorld baseline policy for ``scale``.
+
+        Used by the inference-time sweeps (Fig. 4's Single-Trans-M curve);
+        caching it lets pooled campaign workers share one training run.  The
+        JSON round trip is exact for float64, so a cached policy is
+        bit-identical to a freshly trained one.
+        """
+        key = _scale_key("gridworld-single", scale)
+        if not refresh:
+            cached = self.load(key)
+            if cached is not None:
+                return state_dict_from_lists(cached["policy"])
+        system = build_gridworld_single_system(scale, environment_count=1)
+        system.train(scale.episodes)
+        policy = system.consensus_state()
+        self.store(key, {"policy": state_dict_to_lists(policy)})
+        return policy
 
     # --------------------------------------------------------- DroneNav baseline
     def drone_policy(self, scale: DroneScale, refresh: bool = False) -> dict:

@@ -52,7 +52,13 @@ class Int8AffineCodec:
             max_abs = float(np.percentile(np.abs(values), self.clip_percentile))
         if max_abs == 0.0:
             return 1.0
-        return max_abs / 127.0
+        scale = max_abs / 127.0
+        if scale == 0.0:
+            # max_abs is so small (subnormal) that dividing by 127 underflows
+            # to zero; the smallest positive float keeps quantize() usable and
+            # still reconstructs these values within half a code step.
+            scale = float(np.nextafter(0.0, 1.0))
+        return scale
 
     def quantize(self, values: np.ndarray, scale: float | None = None) -> QuantizedTensor:
         values = np.asarray(values, dtype=np.float64)

@@ -53,6 +53,16 @@ class Agent:
         """Current exploration rate (0 for purely greedy agents)."""
         return 0.0
 
+    @property
+    def rng(self) -> Optional[np.random.Generator]:
+        """The agent's own random stream, if it has one.
+
+        Evaluation helpers default to this stream so that campaigns built
+        from seeded agents are reproducible end to end (the runtime layer's
+        parallel-vs-serial bit-identity depends on it).
+        """
+        return getattr(self, "_rng", None)
+
 
 def outcome_to_stats(total_reward: float, steps: int, info: Optional[dict]) -> EpisodeStats:
     """Build an :class:`EpisodeStats` from a final step's info dictionary."""

@@ -5,6 +5,15 @@ success-rate campaigns repeat each scenario many times, which is only
 meaningful when the rollout has some stochasticity.  A small ε also mirrors
 the fielded behaviour of exploitation-phase agents that retain a residual
 exploration rate.
+
+When no explicit ``rng`` is supplied the helpers draw the ε noise from the
+*agent's own* seeded stream instead of fresh OS entropy, so campaigns built
+from seeded agents evaluate reproducibly — the property the parallel campaign
+runner's serial/parallel bit-identity guarantee rests on.  The deliberate
+trade-off: evaluating a live agent advances its training stream, so the
+evaluation cadence is part of an experiment's definition (changing it changes
+the downstream trajectory — deterministically).  Pass an explicit ``rng`` to
+evaluate without touching the agent's stream.
 """
 
 from __future__ import annotations
@@ -38,7 +47,7 @@ def greedy_episode(
     """
     if not 0.0 <= epsilon <= 1.0:
         raise ValueError(f"epsilon must be in [0, 1], got {epsilon}")
-    rng = as_rng(rng)
+    rng = as_rng(rng if rng is not None else getattr(agent, "rng", None))
     observation = env.reset()
     total_reward = 0.0
     steps = 0
@@ -72,7 +81,7 @@ def evaluate_success_rate(
     """Fraction of attempts in which the agent reached the goal (GridWorld SR)."""
     if attempts <= 0:
         raise ValueError(f"attempts must be positive, got {attempts}")
-    rng = as_rng(rng)
+    rng = as_rng(rng if rng is not None else getattr(agent, "rng", None))
     successes = 0
     for _ in range(attempts):
         stats = greedy_episode(agent, env, epsilon=epsilon, rng=rng)
@@ -91,7 +100,7 @@ def evaluate_flight_distance(
     """Average safe flight distance over ``attempts`` exploitation episodes."""
     if attempts <= 0:
         raise ValueError(f"attempts must be positive, got {attempts}")
-    rng = as_rng(rng)
+    rng = as_rng(rng if rng is not None else getattr(agent, "rng", None))
     distances: List[float] = []
     for _ in range(attempts):
         stats = greedy_episode(agent, env, epsilon=epsilon, rng=rng)

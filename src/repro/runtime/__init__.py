@@ -1,0 +1,43 @@
+"""Runtime layer: parallel campaign execution over independent cells.
+
+This package is the scaling seam of the reproduction.  Experiments are
+decomposed into :class:`~repro.runtime.cells.CellTask` grids by the plan
+builders in :mod:`repro.runtime.plans` and executed — serially or on a
+process pool — by :class:`~repro.runtime.runner.CampaignRunner`.  Per-cell
+randomness always derives from keyed ``numpy.random.SeedSequence`` children,
+so execution placement never changes results.
+
+Only the dependency-free cell primitives are imported eagerly; the plan and
+runner layers sit *above* :mod:`repro.core` (which itself imports
+``repro.runtime.cells``), so they are exposed lazily to keep the import graph
+acyclic.
+"""
+
+from repro.runtime.cells import CampaignPlan, CellTask, derive_cell_seeds
+
+_LAZY_EXPORTS = {
+    "CampaignContext": "repro.runtime.plans",
+    "build_plan": "repro.runtime.plans",
+    "decomposed_experiment_ids": "repro.runtime.plans",
+    "plannable_experiment_ids": "repro.runtime.plans",
+    "CampaignError": "repro.runtime.runner",
+    "CampaignRunner": "repro.runtime.runner",
+    "CellExecutionError": "repro.runtime.runner",
+    "default_worker_count": "repro.runtime.runner",
+}
+
+__all__ = [
+    "CampaignPlan",
+    "CellTask",
+    "derive_cell_seeds",
+    *sorted(_LAZY_EXPORTS),
+]
+
+
+def __getattr__(name: str):
+    module_name = _LAZY_EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)

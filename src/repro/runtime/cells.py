@@ -1,0 +1,121 @@
+"""Cell decomposition primitives for fault-injection campaigns.
+
+A paper artifact (``fig3a`` ... ``fig9``, ``table1``) is a grid of independent
+(figure, BER, fault location, seed) measurements.  The runtime layer expresses
+each artifact as a :class:`CampaignPlan`: a list of :class:`CellTask` items —
+each a picklable, module-level function plus keyword arguments — and a merge
+function that folds the per-cell outputs (in cell order) back into the
+experiment's result object.
+
+Because every cell derives its random streams from keyed
+``numpy.random.SeedSequence`` children (via :class:`repro.utils.rng.RngFactory`
+or :func:`derive_cell_seeds`), the same plan executed serially, on a process
+pool, or across machines produces bit-identical merged results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass
+class CellTask:
+    """One independent unit of campaign work.
+
+    ``fn`` must be a module-level (importable, hence picklable) callable and
+    ``kwargs`` its keyword arguments; ``key`` identifies the cell within its
+    experiment (e.g. ``("repeat", 0, "ber", 1, "episode", 2)``) for progress
+    and error reporting.
+    """
+
+    experiment_id: str
+    key: Tuple
+    fn: Callable
+    kwargs: Dict = field(default_factory=dict)
+
+    def run(self):
+        return self.fn(**self.kwargs)
+
+    def describe(self) -> str:
+        return f"{self.experiment_id}{list(self.key)}"
+
+
+@dataclass
+class CampaignPlan:
+    """An experiment decomposed into independent cells plus a merge step.
+
+    ``merge`` receives the cell outputs in the same order as ``cells``
+    regardless of completion order, so floating-point accumulation matches the
+    original serial loops exactly.  Shared pretrained baselines are resolved
+    through the disk-backed policy cache while the plan is *built* (in the
+    parent process) and shipped to cells by value, so pooled workers never
+    retrain them.
+    """
+
+    experiment_id: str
+    cells: List[CellTask]
+    merge: Callable[[List[object]], object]
+
+    @property
+    def cell_count(self) -> int:
+        return len(self.cells)
+
+    def run_serial(self):
+        """Execute the plan in-process, in order (the bit-identical fallback)."""
+        return self.merge([cell.run() for cell in self.cells])
+
+
+def derive_cell_seeds(root_seed: Optional[int], count: int) -> List[int]:
+    """Derive ``count`` independent integer seeds from ``root_seed``.
+
+    Uses ``numpy.random.SeedSequence.spawn`` so the derived seeds are
+    statistically independent and reproducible regardless of how many cells a
+    campaign is split into.  Used by the CLI's ``--replicates`` option to give
+    each campaign replicate its own seed.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    children = np.random.SeedSequence(root_seed).spawn(count)
+    return [int(child.generate_state(1, dtype=np.uint64)[0]) for child in children]
+
+
+def single_cell_plan(experiment_id: str, fn: Callable, kwargs: Dict) -> CampaignPlan:
+    """Wrap a whole experiment function as a one-cell plan.
+
+    Fallback for artifacts without a finer-grained decomposition: the
+    experiment still runs through the same executor (and off the main process
+    when a pool is available), it just cannot spread across workers.
+    """
+    cell = CellTask(experiment_id=experiment_id, key=("all",), fn=fn, kwargs=kwargs)
+    return CampaignPlan(experiment_id=experiment_id, cells=[cell], merge=lambda outputs: outputs[0])
+
+
+def grid_merge_order(repeats: int, rows: int, columns: int) -> List[Tuple[int, int, int]]:
+    """The canonical (repeat, row, column) enumeration order of heatmap cells."""
+    return [
+        (repeat, row, column)
+        for repeat in range(repeats)
+        for row in range(rows)
+        for column in range(columns)
+    ]
+
+
+def accumulate_heatmap(
+    outputs: Sequence[float], repeats: int, rows: int, columns: int
+) -> np.ndarray:
+    """Fold per-cell scalars back into the (rows × columns) accumulator.
+
+    Accumulation happens in the original serial loop order (repeat-major), so
+    the floating-point sums are bitwise identical to the historical nested
+    loops.
+    """
+    expected = repeats * rows * columns
+    if len(outputs) != expected:
+        raise ValueError(f"expected {expected} cell outputs, got {len(outputs)}")
+    values = np.zeros((rows, columns))
+    for (_repeat, row, column), output in zip(grid_merge_order(repeats, rows, columns), outputs):
+        values[row, column] += output
+    return values

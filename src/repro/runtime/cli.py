@@ -1,0 +1,173 @@
+"""``repro-campaign`` — run paper artifacts from the command line.
+
+Examples::
+
+    repro-campaign --list
+    repro-campaign fig3a fig4 --scale tiny --workers 4 --output results/
+    repro-campaign fig3a --replicates 3 --seed 7   # 3 independent seeds
+
+Replicate seeds are derived with ``numpy.random.SeedSequence.spawn`` (see
+:func:`repro.runtime.cells.derive_cell_seeds`), so adding replicates never
+perturbs existing ones.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.core.config import DroneScale, GridWorldScale
+from repro.core.pretrained import PolicyCache
+from repro.runtime.cells import derive_cell_seeds
+from repro.runtime.plans import decomposed_experiment_ids, plannable_experiment_ids
+from repro.runtime.runner import CampaignRunner, default_worker_count
+from repro.utils.serialization import save_json
+
+_SCALE_PRESETS = {
+    "tiny": (GridWorldScale.tiny, DroneScale.tiny),
+    "fast": (GridWorldScale.fast, DroneScale.fast),
+    "paper": (GridWorldScale.paper, DroneScale.paper),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-campaign",
+        description="Run FRL-FI fault-injection campaigns, optionally on a process pool.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        help="artifact identifiers (fig3a ... fig9, table1) or 'all'",
+    )
+    parser.add_argument("--list", action="store_true", help="list runnable artifacts and exit")
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="process-pool size; 0 picks a machine-sized default "
+        f"(currently {default_worker_count()} here); 1 runs serially",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=sorted(_SCALE_PRESETS),
+        default="fast",
+        help="workload scale preset (default: fast)",
+    )
+    parser.add_argument("--seed", type=int, default=None, help="override the scales' root seed")
+    parser.add_argument(
+        "--replicates",
+        type=int,
+        default=1,
+        help="run each artifact N times under independently derived seeds",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help="directory for per-artifact .json/.txt result files",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        help="policy cache directory shared by all workers "
+        "(default: $FRLFI_CACHE_DIR or ./.frlfi_cache)",
+    )
+    return parser
+
+
+def _save(output_dir: Path, name: str, result) -> None:
+    output_dir.mkdir(parents=True, exist_ok=True)
+    text = result.render() if hasattr(result, "render") else str(result)
+    (output_dir / f"{name}.txt").write_text(text + "\n", encoding="utf8")
+    if hasattr(result, "as_dict"):
+        save_json(output_dir / f"{name}.json", result.as_dict())
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list:
+        decomposed = set(decomposed_experiment_ids())
+        for experiment_id in plannable_experiment_ids():
+            kind = "parallel" if experiment_id in decomposed else "single-cell"
+            print(f"{experiment_id:12s} {kind}")
+        return 0
+
+    if not args.experiments:
+        parser.error("no experiments given (or use --list)")
+    if args.replicates < 1:
+        parser.error("--replicates must be >= 1")
+
+    gridworld_factory, drone_factory = _SCALE_PRESETS[args.scale]
+    workers = args.workers if args.workers != 0 else default_worker_count()
+    cache = PolicyCache(args.cache_dir) if args.cache_dir is not None else None
+
+    known = plannable_experiment_ids()
+    if args.experiments == ["all"]:
+        experiment_ids = known
+    else:
+        experiment_ids = args.experiments
+        unknown = sorted(set(experiment_ids) - set(known))
+        if unknown:
+            parser.error(f"unknown experiments {unknown}; available: {known}")
+
+    base_seed = args.seed
+    replicate_seeds = (
+        derive_cell_seeds(base_seed, args.replicates) if args.replicates > 1 else [base_seed]
+    )
+
+    exit_code = 0
+    for replicate, seed in enumerate(replicate_seeds):
+        gridworld_scale = gridworld_factory()
+        drone_scale = drone_factory()
+        if seed is not None:
+            gridworld_scale = gridworld_scale.with_seed(seed)
+            drone_scale = drone_scale.with_seed(seed)
+        runner = CampaignRunner(
+            gridworld_scale=gridworld_scale,
+            drone_scale=drone_scale,
+            cache=cache,
+            workers=workers,
+        )
+        suffix = f"@r{replicate}" if args.replicates > 1 else ""
+        if args.replicates > 1:
+            # Record the derived seed so any single replicate can be rerun
+            # exactly with --replicates 1 --seed <seed>.
+            print(f"[repro-campaign] replicate {replicate}: seed={seed}", flush=True)
+        for experiment_id in experiment_ids:
+            label = f"{experiment_id}{suffix}"
+            start = time.perf_counter()
+            try:
+                # Plan building can fail too (corrupt cache entries, baseline
+                # training errors), so it sits inside the per-artifact guard.
+                plan = runner.plan(experiment_id)
+                print(
+                    f"[repro-campaign] {label}: {plan.cell_count} cells "
+                    f"on {workers} worker(s)...",
+                    flush=True,
+                )
+                result = runner.run_plan(plan)
+            except KeyboardInterrupt:
+                raise
+            except Exception as error:
+                # Keep going so a multi-artifact run reports every failure.
+                print(f"[repro-campaign] {label}: FAILED — {error}", file=sys.stderr, flush=True)
+                exit_code = 1
+                continue
+            runner.results[experiment_id] = result
+            elapsed = time.perf_counter() - start
+            print(f"[repro-campaign] {label}: done in {elapsed:.1f}s", flush=True)
+            if args.output is not None:
+                _save(args.output, label, result)
+        print(runner.report())
+    return exit_code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

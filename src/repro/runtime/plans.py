@@ -1,0 +1,135 @@
+"""Campaign plan builders for every registered paper artifact.
+
+:func:`build_plan` maps an experiment identifier (``fig3a`` ... ``fig9``,
+``table1``) to a :class:`~repro.runtime.cells.CampaignPlan`.  Artifacts with a
+natural grid structure decompose into many independent cells (the heatmaps,
+the inference sweeps, Table I); the remaining artifacts fall back to a
+single-cell plan that runs the whole experiment function — still off the main
+process when a pool is available, just not spread across workers.
+
+This module is the single source of truth for decomposed-artifact parameters:
+:class:`repro.core.framework.FaultCharacterizationFramework` routes those
+identifiers through :func:`build_plan` too, so ``framework.run(experiment_id)``
+and a campaign runner produce identical results by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, Optional
+
+from repro.core.config import DroneScale, GridWorldScale
+from repro.core.experiments.drone_training import drone_training_plan
+from repro.core.experiments.gridworld_inference import gridworld_inference_plan
+from repro.core.experiments.gridworld_training import gridworld_training_plan, policy_std_plan
+from repro.core.experiments.mitigation_experiments import (
+    inference_mitigation_plan,
+    training_mitigation_plan,
+)
+from repro.core.pretrained import PolicyCache, default_cache
+from repro.runtime.cells import CampaignPlan, single_cell_plan
+
+
+@dataclass
+class CampaignContext:
+    """Everything a plan builder needs: the scales and the shared cache."""
+
+    gridworld_scale: GridWorldScale
+    drone_scale: DroneScale
+    cache: PolicyCache
+
+    @classmethod
+    def create(
+        cls,
+        gridworld_scale: Optional[GridWorldScale] = None,
+        drone_scale: Optional[DroneScale] = None,
+        cache: Optional[PolicyCache] = None,
+    ) -> "CampaignContext":
+        return cls(
+            gridworld_scale=gridworld_scale or GridWorldScale.fast(),
+            drone_scale=drone_scale or DroneScale.fast(),
+            cache=cache or default_cache(),
+        )
+
+
+def run_whole_experiment(
+    experiment_id: str,
+    gridworld_scale: GridWorldScale,
+    drone_scale: DroneScale,
+    cache_dir: str,
+):
+    """Run one registered experiment end to end (the fallback cell body).
+
+    Reconstructs a framework inside the worker process; the policy cache is
+    shared through ``cache_dir``, so pretrained baselines are reused across
+    processes rather than retrained.
+    """
+    from repro.core.framework import FaultCharacterizationFramework
+
+    framework = FaultCharacterizationFramework(
+        gridworld_scale=gridworld_scale,
+        drone_scale=drone_scale,
+        cache=PolicyCache(Path(cache_dir)),
+    )
+    return framework.run(experiment_id)
+
+
+_DECOMPOSED_BUILDERS: Dict[str, Callable[[CampaignContext], CampaignPlan]] = {
+    "fig3a": lambda ctx: gridworld_training_plan("agent", scale=ctx.gridworld_scale),
+    "fig3b": lambda ctx: gridworld_training_plan("server", scale=ctx.gridworld_scale),
+    "fig3c": lambda ctx: gridworld_training_plan("single", scale=ctx.gridworld_scale),
+    # The canonical Table I system sizes at reproduction scale.
+    "table1": lambda ctx: policy_std_plan(scale=ctx.gridworld_scale, agent_counts=(1, 4, 8)),
+    "fig4": lambda ctx: gridworld_inference_plan(scale=ctx.gridworld_scale, cache=ctx.cache),
+    "fig5a": lambda ctx: drone_training_plan("agent", scale=ctx.drone_scale, cache=ctx.cache),
+    "fig5b": lambda ctx: drone_training_plan("server", scale=ctx.drone_scale, cache=ctx.cache),
+    "fig5c": lambda ctx: drone_training_plan("single", scale=ctx.drone_scale, cache=ctx.cache),
+    "fig7a": lambda ctx: training_mitigation_plan(
+        "gridworld", "server", scale=ctx.gridworld_scale, cache=ctx.cache
+    ),
+    "fig7b": lambda ctx: training_mitigation_plan(
+        "drone", "server", scale=ctx.drone_scale, cache=ctx.cache
+    ),
+    "fig8a": lambda ctx: inference_mitigation_plan(
+        "gridworld", scale=ctx.gridworld_scale, cache=ctx.cache
+    ),
+    "fig8b": lambda ctx: inference_mitigation_plan(
+        "drone", scale=ctx.drone_scale, cache=ctx.cache
+    ),
+}
+
+# Artifacts without a finer decomposition (cheap, or inherently sequential
+# like the Fig. 3e convergence loop); they run as one cell each.
+_FALLBACK_IDS = ("fig3d", "fig3e", "fig6a", "fig6b", "fig9", "datatypes")
+
+
+def decomposed_experiment_ids() -> list:
+    """Identifiers with a true multi-cell decomposition."""
+    return sorted(_DECOMPOSED_BUILDERS)
+
+
+def plannable_experiment_ids() -> list:
+    """Every identifier :func:`build_plan` accepts."""
+    return sorted(set(_DECOMPOSED_BUILDERS) | set(_FALLBACK_IDS))
+
+
+def build_plan(experiment_id: str, context: CampaignContext) -> CampaignPlan:
+    """Build the campaign plan for ``experiment_id``."""
+    builder = _DECOMPOSED_BUILDERS.get(experiment_id)
+    if builder is not None:
+        return builder(context)
+    if experiment_id in _FALLBACK_IDS:
+        return single_cell_plan(
+            experiment_id,
+            run_whole_experiment,
+            {
+                "experiment_id": experiment_id,
+                "gridworld_scale": context.gridworld_scale,
+                "drone_scale": context.drone_scale,
+                "cache_dir": str(context.cache.cache_dir),
+            },
+        )
+    raise KeyError(
+        f"unknown experiment {experiment_id!r}; available: {plannable_experiment_ids()}"
+    )

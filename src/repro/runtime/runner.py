@@ -1,0 +1,143 @@
+"""The parallel fault-injection campaign runner.
+
+:class:`CampaignRunner` executes campaign plans on a ``concurrent.futures``
+process pool.  Cells are submitted in plan order and their outputs merged in
+plan order, so a pool of any size produces byte-identical result payloads to
+the serial fallback (``workers=1``), which in turn is the exact code path the
+experiment functions themselves run.
+
+Worker failures are surfaced as :class:`CellExecutionError` naming the failed
+cell; a worker process dying outright (segfault, OOM kill) raises the same
+error with the pool's diagnostic chained.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Dict, List, Optional
+
+from repro.core.config import DroneScale, GridWorldScale
+from repro.core.pretrained import PolicyCache
+from repro.runtime.cells import CampaignPlan, CellTask
+from repro.runtime.plans import CampaignContext, build_plan, plannable_experiment_ids
+
+
+class CampaignError(RuntimeError):
+    """Base error for campaign execution failures."""
+
+
+class CellExecutionError(CampaignError):
+    """A campaign cell raised (or its worker process died)."""
+
+    def __init__(self, cell: CellTask, message: str) -> None:
+        super().__init__(f"campaign cell {cell.describe()} failed: {message}")
+        self.cell = cell
+
+
+def _run_cell(cell: CellTask):
+    """Module-level trampoline so cells pickle cleanly into pool workers."""
+    return cell.run()
+
+
+def default_worker_count() -> int:
+    """A sensible default worker count: the machine's CPUs, capped at 8."""
+    return max(1, min(os.cpu_count() or 1, 8))
+
+
+class CampaignRunner:
+    """Decompose registered artifacts into cells and run them on a pool.
+
+    ``workers=1`` (the default) executes every plan serially in-process and is
+    bit-identical to calling the experiment functions directly;
+    ``workers=N`` fans the cells out over ``N`` processes and merges the
+    outputs in deterministic plan order, so the result payloads are identical
+    to the serial run's.
+    """
+
+    def __init__(
+        self,
+        gridworld_scale: Optional[GridWorldScale] = None,
+        drone_scale: Optional[DroneScale] = None,
+        cache: Optional[PolicyCache] = None,
+        workers: Optional[int] = None,
+        mp_context: Optional[str] = None,
+    ) -> None:
+        self.context = CampaignContext.create(gridworld_scale, drone_scale, cache)
+        self.workers = max(1, int(workers)) if workers is not None else 1
+        self.mp_context = mp_context
+        self.results: Dict[str, object] = {}
+
+    # ------------------------------------------------------------------- plans
+    @property
+    def experiment_ids(self) -> List[str]:
+        """Identifiers of every runnable paper artifact."""
+        return plannable_experiment_ids()
+
+    def plan(self, experiment_id: str) -> CampaignPlan:
+        """Build (but do not run) the plan for ``experiment_id``."""
+        return build_plan(experiment_id, self.context)
+
+    # --------------------------------------------------------------- execution
+    def run(self, experiment_id: str):
+        """Run one artifact, parallel when workers allow, and store the result."""
+        result = self.run_plan(self.plan(experiment_id))
+        self.results[experiment_id] = result
+        return result
+
+    def run_all(self, experiment_ids: Optional[List[str]] = None) -> Dict[str, object]:
+        """Run several artifacts (default: all) and return the result map."""
+        for experiment_id in experiment_ids or self.experiment_ids:
+            self.run(experiment_id)
+        return dict(self.results)
+
+    def run_plan(self, plan: CampaignPlan):
+        """Execute an explicit plan through the configured executor.
+
+        With ``workers > 1`` every plan goes through the pool — including
+        single-cell fallback plans, which then run off the main process.
+        """
+        if self.workers <= 1 or plan.cell_count == 0:
+            return plan.run_serial()
+        outputs = self._map_cells(plan.cells)
+        return plan.merge(outputs)
+
+    def _map_cells(self, cells: List[CellTask]) -> List[object]:
+        context = multiprocessing.get_context(self.mp_context)
+        pool = ProcessPoolExecutor(
+            max_workers=min(self.workers, len(cells)), mp_context=context
+        )
+        try:
+            futures = [pool.submit(_run_cell, cell) for cell in cells]
+            outputs = []
+            for cell, future in zip(cells, futures):
+                try:
+                    outputs.append(future.result())
+                except BrokenProcessPool as exc:
+                    # The executor cannot attribute the crash, so don't claim
+                    # this particular cell caused it.
+                    raise CellExecutionError(
+                        cell,
+                        "a worker process died before this cell's result was "
+                        "returned (the crash may have occurred in any in-flight "
+                        "cell)",
+                    ) from exc
+                except CampaignError:
+                    raise
+                except Exception as exc:
+                    raise CellExecutionError(cell, f"{type(exc).__name__}: {exc}") from exc
+            return outputs
+        finally:
+            pool.shutdown(wait=True, cancel_futures=True)
+
+    # ---------------------------------------------------------------- reporting
+    def report(self) -> str:
+        """Plain-text report of every merged result collected so far."""
+        sections = []
+        for experiment_id in sorted(self.results):
+            result = self.results[experiment_id]
+            rendered = result.render() if hasattr(result, "render") else str(result)
+            sections.append(f"=== {experiment_id} ===\n{rendered}")
+        return "\n\n".join(sections)

@@ -43,6 +43,31 @@ def _validate_positions(bit_positions: np.ndarray, bit_width: int) -> np.ndarray
     return positions
 
 
+def _checked_events(
+    codes: np.ndarray,
+    element_indices: np.ndarray,
+    bit_positions: np.ndarray,
+    bit_width: int,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Validate one batch of (element, bit) events against ``codes``.
+
+    Returns the flattened unsigned working copy of ``codes`` plus the
+    validated element indices and per-event single-bit masks.
+    """
+    positions = _validate_positions(bit_positions, bit_width)
+    elements = np.asarray(element_indices, dtype=np.int64)
+    if elements.shape != positions.shape:
+        raise ValueError("element_indices and bit_positions must have the same shape")
+    unsigned = unsigned_dtype_for(bit_width)
+    flat = np.ascontiguousarray(codes).reshape(-1).astype(unsigned, copy=True)
+    if elements.size and (elements.min() < 0 or elements.max() >= flat.size):
+        raise IndexError("element index out of range for the given tensor")
+    masks = (np.ones_like(positions, dtype=np.uint64) << positions.astype(np.uint64)).astype(
+        unsigned
+    )
+    return flat, elements, masks
+
+
 def flip_bits(
     codes: np.ndarray,
     element_indices: np.ndarray,
@@ -56,19 +81,11 @@ def flip_bits(
     element (and even the same bit, in which case they cancel out, matching
     physical transient-fault behaviour of an even number of upsets).
     """
-    positions = _validate_positions(bit_positions, bit_width)
-    elements = np.asarray(element_indices, dtype=np.int64)
-    if elements.shape != positions.shape:
-        raise ValueError("element_indices and bit_positions must have the same shape")
-    unsigned = unsigned_dtype_for(bit_width)
-    flat = np.ascontiguousarray(codes).reshape(-1).astype(unsigned, copy=True)
-    if elements.size and (elements.min() < 0 or elements.max() >= flat.size):
-        raise IndexError("element index out of range for the given tensor")
-    masks = (np.ones_like(positions, dtype=np.uint64) << positions.astype(np.uint64)).astype(
-        unsigned
-    )
-    # XOR accumulation: np.bitwise_xor.at handles repeated indices correctly.
-    np.bitwise_xor.at(flat, elements, masks)
+    flat, elements, masks = _checked_events(codes, element_indices, bit_positions, bit_width)
+    if elements.size:
+        # One batched XOR-accumulate over the whole event set; repeated
+        # (element, bit) events cancel pairwise, as in hardware.
+        np.bitwise_xor.at(flat, elements, masks)
     return flat.reshape(np.asarray(codes).shape).astype(codes.dtype, copy=False)
 
 
@@ -82,36 +99,25 @@ def set_bits(
     """Force bits to ``value`` (0 or 1) — the stuck-at fault primitive."""
     if value not in (0, 1):
         raise ValueError(f"stuck-at value must be 0 or 1, got {value}")
-    positions = _validate_positions(bit_positions, bit_width)
-    elements = np.asarray(element_indices, dtype=np.int64)
-    if elements.shape != positions.shape:
-        raise ValueError("element_indices and bit_positions must have the same shape")
-    unsigned = unsigned_dtype_for(bit_width)
-    flat = np.ascontiguousarray(codes).reshape(-1).astype(unsigned, copy=True)
-    if elements.size and (elements.min() < 0 or elements.max() >= flat.size):
-        raise IndexError("element index out of range for the given tensor")
-    masks = (np.ones_like(positions, dtype=np.uint64) << positions.astype(np.uint64)).astype(
-        unsigned
-    )
-    if value == 1:
-        np.bitwise_or.at(flat, elements, masks)
-    else:
-        inverted = (~masks).astype(unsigned)
-        np.bitwise_and.at(flat, elements, inverted)
+    flat, elements, masks = _checked_events(codes, element_indices, bit_positions, bit_width)
+    if elements.size:
+        if value == 1:
+            np.bitwise_or.at(flat, elements, masks)
+        else:
+            np.bitwise_and.at(flat, elements, (~masks).astype(flat.dtype))
     return flat.reshape(np.asarray(codes).shape).astype(codes.dtype, copy=False)
 
 
 def count_ones(codes: np.ndarray, bit_width: int) -> int:
     """Total number of 1 bits in the low ``bit_width`` bits of every element."""
-    unsigned = unsigned_dtype_for(bit_width)
+    unsigned_dtype_for(bit_width)  # reject widths above 64
     flat = np.ascontiguousarray(codes).reshape(-1).astype(np.uint64)
     mask = np.uint64((1 << bit_width) - 1) if bit_width < 64 else np.uint64(0xFFFFFFFFFFFFFFFF)
     flat = flat & mask
-    del unsigned
-    total = 0
-    for position in range(bit_width):
-        total += int(((flat >> np.uint64(position)) & np.uint64(1)).sum())
-    return total
+    if flat.size == 0:
+        return 0
+    # Hardware popcount over the masked code words in one vectorized pass.
+    return int(np.bitwise_count(flat).sum(dtype=np.int64))
 
 
 def one_bit_fraction(codes: np.ndarray, bit_width: int) -> float:
@@ -135,10 +141,8 @@ def random_bit_positions(
 def bit_planes(codes: np.ndarray, bit_width: int) -> np.ndarray:
     """Return an array of shape ``(bit_width, *codes.shape)`` with 0/1 planes."""
     flat = np.ascontiguousarray(codes).astype(np.uint64)
-    planes = np.stack(
-        [((flat >> np.uint64(position)) & np.uint64(1)) for position in range(bit_width)]
-    )
-    return planes.astype(np.uint8)
+    positions = np.arange(bit_width, dtype=np.uint64).reshape((bit_width,) + (1,) * flat.ndim)
+    return ((flat[np.newaxis, ...] >> positions) & np.uint64(1)).astype(np.uint8)
 
 
 def faults_for_ber(total_bits: int, bit_error_rate: float, rng: np.random.Generator) -> int:

@@ -7,7 +7,9 @@ helpers here convert between numpy-backed state and JSON-compatible builtins.
 
 from __future__ import annotations
 
+import contextlib
 import json
+import os
 from pathlib import Path
 from typing import Dict, Union
 
@@ -54,11 +56,27 @@ class _NumpyJSONEncoder(json.JSONEncoder):
 
 
 def save_json(path: PathLike, payload: object, indent: int = 2) -> Path:
-    """Write ``payload`` as JSON to ``path`` and return the path."""
+    """Write ``payload`` as JSON to ``path`` atomically and return the path.
+
+    The payload is written to a same-directory temporary file and moved into
+    place with :func:`os.replace`, so concurrent readers (e.g. pooled campaign
+    workers sharing a policy cache) never observe a torn file.
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    with path.open("w", encoding="utf8") as handle:
-        json.dump(payload, handle, indent=indent, cls=_NumpyJSONEncoder)
+    # O_CREAT with mode 0o666 lets the kernel apply the process umask
+    # atomically, so the final file gets ordinary (usually 0644) permissions
+    # without mutating global state the way an os.umask() round trip would.
+    tmp_name = f"{path}.{os.getpid()}.{id(payload):x}.tmp"
+    fd = os.open(tmp_name, os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o666)
+    try:
+        with os.fdopen(fd, "w", encoding="utf8") as handle:
+            json.dump(payload, handle, indent=indent, cls=_NumpyJSONEncoder)
+        os.replace(tmp_name, path)
+    except BaseException:
+        with contextlib.suppress(OSError):
+            os.unlink(tmp_name)
+        raise
     return path
 
 

@@ -1,6 +1,5 @@
 """Tests for the per-figure experiment functions (tiny scales)."""
 
-import numpy as np
 import pytest
 
 from repro.core import experiments

@@ -1,7 +1,6 @@
 """Tests for the training fault-injection callback."""
 
 import numpy as np
-import pytest
 
 from repro.core.fault_callbacks import TrainingFaultCallback, make_training_fault
 from repro.core.workloads import build_gridworld_frl_system

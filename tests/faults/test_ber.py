@@ -1,6 +1,5 @@
 """Tests for bit-error-rate handling."""
 
-import numpy as np
 import pytest
 
 from repro.faults import BitErrorRate

@@ -1,7 +1,6 @@
 """Tests for the fault injector."""
 
 import numpy as np
-import pytest
 
 from repro.faults import BitErrorRate, FaultInjector
 from repro.nn import build_gridworld_q_network

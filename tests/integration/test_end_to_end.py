@@ -1,8 +1,5 @@
 """End-to-end integration tests across the full FRL-FI stack."""
 
-import numpy as np
-import pytest
-
 from repro.core import experiments
 from repro.core.config import GridWorldScale
 from repro.core.fault_callbacks import make_training_fault

@@ -1,0 +1,198 @@
+"""Tests for the parallel campaign runner.
+
+The central guarantee under test: executing a campaign plan on a process pool
+produces *byte-identical* merged results to the serial in-process run, because
+every cell derives its randomness from seeds keyed by its campaign
+coordinates.  Worker crashes must surface as typed errors naming the cell.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.config import GridWorldScale
+from repro.core.experiments.gridworld_inference import gridworld_inference_plan
+from repro.core.experiments.gridworld_training import gridworld_training_plan
+from repro.runtime.cells import CampaignPlan, CellTask, derive_cell_seeds
+from repro.runtime.plans import build_plan, decomposed_experiment_ids, plannable_experiment_ids
+from repro.runtime.runner import CampaignRunner, CellExecutionError
+
+
+def _payload(result) -> str:
+    return json.dumps(result.as_dict(), sort_keys=True)
+
+
+@pytest.fixture(scope="module")
+def tiny_scale() -> GridWorldScale:
+    return GridWorldScale.tiny()
+
+
+class TestSerialParallelDeterminism:
+    def test_fig3a_parallel_matches_serial(self, tiny_scale, policy_cache):
+        serial = CampaignRunner(gridworld_scale=tiny_scale, cache=policy_cache, workers=1)
+        parallel = CampaignRunner(gridworld_scale=tiny_scale, cache=policy_cache, workers=2)
+        assert _payload(serial.run("fig3a")) == _payload(parallel.run("fig3a"))
+
+    def test_fig4_parallel_matches_serial(self, tiny_scale, policy_cache):
+        serial = CampaignRunner(gridworld_scale=tiny_scale, cache=policy_cache, workers=1)
+        parallel = CampaignRunner(gridworld_scale=tiny_scale, cache=policy_cache, workers=2)
+        assert _payload(serial.run("fig4")) == _payload(parallel.run("fig4"))
+
+    def test_experiment_function_matches_plan(self, tiny_scale):
+        """The public experiment function IS the serial plan execution."""
+        from repro.core.experiments.gridworld_training import gridworld_training_heatmap
+
+        direct = gridworld_training_heatmap(
+            "agent", scale=tiny_scale, ber_values=(0.0, 0.02), episode_fractions=(0.5,)
+        )
+        plan = gridworld_training_plan(
+            "agent", scale=tiny_scale, ber_values=(0.0, 0.02), episode_fractions=(0.5,)
+        )
+        assert _payload(direct) == _payload(plan.run_serial())
+
+    def test_framework_workers_kwarg(self, tiny_scale, policy_cache):
+        from repro.core import FaultCharacterizationFramework
+
+        framework = FaultCharacterizationFramework(
+            gridworld_scale=tiny_scale, cache=policy_cache
+        )
+        serial = framework.run("fig3a")
+        parallel = framework.run("fig3a", workers=2)
+        assert "fig3a" in framework.results
+        assert _payload(serial) == _payload(parallel)
+
+
+class TestPlans:
+    def test_every_registered_artifact_is_plannable(self, tiny_scale, policy_cache):
+        from repro.core import FaultCharacterizationFramework
+
+        framework = FaultCharacterizationFramework(
+            gridworld_scale=tiny_scale, cache=policy_cache
+        )
+        missing = set(framework.experiment_ids) - set(plannable_experiment_ids())
+        # fig7a/fig8a-style ids must all resolve to a plan.
+        assert not missing
+
+    def test_heatmap_plan_shape(self, tiny_scale):
+        plan = gridworld_training_plan(
+            "agent", scale=tiny_scale, ber_values=(0.0, 0.01, 0.02), episode_fractions=(0.5, 0.9)
+        )
+        assert plan.cell_count == tiny_scale.repeats * 3 * 2
+        assert all(cell.experiment_id == "fig3a" for cell in plan.cells)
+
+    def test_inference_plan_uses_cached_baselines(self, tiny_scale, policy_cache):
+        plan = gridworld_inference_plan(scale=tiny_scale, cache=policy_cache, repeats=2)
+        # Policies are shipped to the cells by value: no cell retrains.
+        for cell in plan.cells:
+            assert isinstance(cell.kwargs["multi_policy"], dict)
+            assert isinstance(cell.kwargs["single_policy"], dict)
+
+    def test_decomposed_ids_are_plannable(self):
+        assert set(decomposed_experiment_ids()) <= set(plannable_experiment_ids())
+
+    def test_unknown_experiment_rejected(self, tiny_scale, policy_cache):
+        runner = CampaignRunner(gridworld_scale=tiny_scale, cache=policy_cache)
+        with pytest.raises(KeyError):
+            runner.run("fig99")
+
+
+def _explode(message: str) -> float:
+    raise RuntimeError(message)
+
+
+def _identity(value: float) -> float:
+    return value
+
+
+def _crash_plan(fail_index: int) -> CampaignPlan:
+    cells = [
+        CellTask(
+            experiment_id="boom",
+            key=("cell", index),
+            fn=_explode if index == fail_index else _identity,
+            kwargs={"message": "injected failure"} if index == fail_index else {"value": 1.0},
+        )
+        for index in range(4)
+    ]
+    return CampaignPlan(experiment_id="boom", cells=cells, merge=sum)
+
+
+class TestWorkerCrashSurfacing:
+    def test_cell_exception_surfaces_with_cell_identity(self):
+        runner = CampaignRunner(workers=2)
+        with pytest.raises(CellExecutionError) as excinfo:
+            runner.run_plan(_crash_plan(fail_index=2))
+        assert "boom" in str(excinfo.value)
+        assert "injected failure" in str(excinfo.value)
+        assert excinfo.value.cell.key == ("cell", 2)
+
+    def test_serial_path_raises_original_error(self):
+        runner = CampaignRunner(workers=1)
+        with pytest.raises(RuntimeError, match="injected failure"):
+            runner.run_plan(_crash_plan(fail_index=0))
+
+
+class TestSeedDerivation:
+    def test_derive_cell_seeds_deterministic(self):
+        assert derive_cell_seeds(7, 5) == derive_cell_seeds(7, 5)
+
+    def test_derive_cell_seeds_prefix_stable(self):
+        # Adding replicates must never perturb existing ones.
+        assert derive_cell_seeds(7, 8)[:5] == derive_cell_seeds(7, 5)
+
+    def test_derive_cell_seeds_distinct(self):
+        seeds = derive_cell_seeds(0, 16)
+        assert len(set(seeds)) == len(seeds)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            derive_cell_seeds(0, -1)
+
+
+class TestFallbackPlans:
+    def test_fig9_single_cell(self, tiny_scale, tiny_drone_scale, policy_cache):
+        from repro.runtime.plans import CampaignContext
+
+        context = CampaignContext.create(tiny_scale, tiny_drone_scale, policy_cache)
+        plan = build_plan("fig9", context)
+        assert plan.cell_count == 1
+        result = plan.run_serial()
+        assert hasattr(result, "rows")
+
+    def test_fig9_runs_in_worker(self, tiny_scale, tiny_drone_scale, policy_cache):
+        runner = CampaignRunner(
+            gridworld_scale=tiny_scale,
+            drone_scale=tiny_drone_scale,
+            cache=policy_cache,
+            workers=2,
+        )
+        result = runner.run("fig9")
+        assert hasattr(result, "rows")
+        assert "fig9" in runner.results
+        assert "fig9" in runner.report()
+
+
+class TestMergeAccumulation:
+    def test_accumulate_matches_nested_loops(self):
+        from repro.runtime.cells import accumulate_heatmap, grid_merge_order
+
+        rng = np.random.default_rng(3)
+        repeats, rows, columns = 3, 4, 2
+        outputs = rng.random(repeats * rows * columns).tolist()
+        merged = accumulate_heatmap(outputs, repeats, rows, columns)
+        expected = np.zeros((rows, columns))
+        cursor = 0
+        for _repeat in range(repeats):
+            for row in range(rows):
+                for column in range(columns):
+                    expected[row, column] += outputs[cursor]
+                    cursor += 1
+        np.testing.assert_array_equal(merged, expected)
+        assert len(grid_merge_order(repeats, rows, columns)) == len(outputs)
+
+    def test_accumulate_rejects_wrong_cardinality(self):
+        from repro.runtime.cells import accumulate_heatmap
+
+        with pytest.raises(ValueError):
+            accumulate_heatmap([1.0, 2.0], repeats=1, rows=2, columns=2)
