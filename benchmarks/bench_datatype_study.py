@@ -1,19 +1,23 @@
-"""Paper §IV-B-3 — fixed-point data-type resilience study."""
+"""Paper §IV-B-3 — fixed-point data-type resilience study.
 
-from benchmarks._common import BENCH_CACHE, BENCH_DRONE_SCALE, save_result
-from repro.core import experiments
+Runs as a campaign of independent (BER, datatype, repeat) cells; pass
+``--workers N`` to pytest to fan the cells out over N processes (the merged
+result is byte-identical to the serial run).
+"""
+
+from benchmarks._common import BENCH_CACHE, BENCH_DRONE_SCALE, run_plan, save_result
+from repro.core.experiments.drone_inference import datatype_study_plan
 
 
-def test_datatype_study(benchmark):
+def test_datatype_study(benchmark, campaign_workers):
+    plan = datatype_study_plan(
+        scale=BENCH_DRONE_SCALE,
+        ber_values=(0.0, 1e-3, 1e-2),
+        cache=BENCH_CACHE,
+        repeats=2,
+    )
     result = benchmark.pedantic(
-        lambda: experiments.datatype_study(
-            scale=BENCH_DRONE_SCALE,
-            ber_values=(0.0, 1e-3, 1e-2),
-            cache=BENCH_CACHE,
-            repeats=2,
-        ),
-        rounds=1,
-        iterations=1,
+        run_plan, args=(plan,), kwargs={"workers": campaign_workers}, rounds=1, iterations=1
     )
     save_result("datatypes", result)
     assert set(result.series) == {"Q(1,4,11)", "Q(1,7,8)", "Q(1,10,5)"}

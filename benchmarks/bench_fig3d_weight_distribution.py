@@ -1,17 +1,20 @@
-"""Fig. 3d — weight distribution and 0/1 bit breakdown of the trained policy."""
+"""Fig. 3d — weight distribution and 0/1 bit breakdown of the trained policy.
+
+Runs as a campaign of per-parameter-tensor cells; pass ``--workers N`` to
+pytest to fan the cells out over N processes (the merged result is
+byte-identical to the serial run).
+"""
 
 import pytest
 
-from benchmarks._common import BENCH_CACHE, BENCH_GRIDWORLD_SCALE, save_result
-from repro.core import experiments
+from benchmarks._common import BENCH_CACHE, BENCH_GRIDWORLD_SCALE, run_plan, save_result
+from repro.core.experiments.gridworld_training import weight_distribution_plan
 
 
-def test_fig3d_weight_distribution(benchmark):
-    consensus = BENCH_CACHE.gridworld_policies(BENCH_GRIDWORLD_SCALE)["consensus"]
+def test_fig3d_weight_distribution(benchmark, campaign_workers):
+    plan = weight_distribution_plan(scale=BENCH_GRIDWORLD_SCALE, cache=BENCH_CACHE)
     result = benchmark.pedantic(
-        lambda: experiments.weight_distribution(scale=BENCH_GRIDWORLD_SCALE, consensus=consensus),
-        rounds=1,
-        iterations=1,
+        run_plan, args=(plan,), kwargs={"workers": campaign_workers}, rounds=1, iterations=1
     )
     save_result("fig3d", result)
     values = {row[0]: row[1] for row in result.rows}

@@ -1,19 +1,23 @@
-"""Fig. 6a — resilience vs number of drones under agent/server faults."""
+"""Fig. 6a — resilience vs number of drones under agent/server faults.
 
-from benchmarks._common import BENCH_CACHE, BENCH_DRONE_SCALE, save_result
-from repro.core import experiments
+Runs as a campaign of independent (drone count, fault location, BER) cells;
+pass ``--workers N`` to pytest to fan the cells out over N processes (the
+merged result is byte-identical to the serial run).
+"""
+
+from benchmarks._common import BENCH_CACHE, BENCH_DRONE_SCALE, run_plan, save_result
+from repro.core.experiments.drone_training import drone_count_plan
 
 
-def test_fig6a_drone_count_sweep(benchmark):
+def test_fig6a_drone_count_sweep(benchmark, campaign_workers):
+    plan = drone_count_plan(
+        scale=BENCH_DRONE_SCALE,
+        drone_counts=(2, 4),
+        ber_values=(0.0, 1e-2),
+        cache=BENCH_CACHE,
+    )
     result = benchmark.pedantic(
-        lambda: experiments.drone_count_sweep(
-            scale=BENCH_DRONE_SCALE,
-            drone_counts=(2, 4),
-            ber_values=(0.0, 1e-2),
-            cache=BENCH_CACHE,
-        ),
-        rounds=1,
-        iterations=1,
+        run_plan, args=(plan,), kwargs={"workers": campaign_workers}, rounds=1, iterations=1
     )
     save_result("fig6a", result)
     assert set(result.series) == {"(2,server)", "(2,agent)", "(4,server)", "(4,agent)"}

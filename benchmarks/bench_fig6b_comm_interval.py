@@ -1,19 +1,23 @@
-"""Fig. 6b — communication-interval trade-off: resilience vs communication cost."""
+"""Fig. 6b — communication-interval trade-off: resilience vs communication cost.
 
-from benchmarks._common import BENCH_CACHE, BENCH_DRONE_SCALE, save_result
-from repro.core import experiments
+Runs as a campaign of independent (interval multiplier, fault scenario)
+cells; pass ``--workers N`` to pytest to fan the cells out over N processes
+(the merged result is byte-identical to the serial run).
+"""
+
+from benchmarks._common import BENCH_CACHE, BENCH_DRONE_SCALE, run_plan, save_result
+from repro.core.experiments.drone_training import communication_interval_plan
 
 
-def test_fig6b_communication_interval(benchmark):
+def test_fig6b_communication_interval(benchmark, campaign_workers):
+    plan = communication_interval_plan(
+        scale=BENCH_DRONE_SCALE,
+        interval_multipliers=(1, 2, 3),
+        fault_ber=1e-2,
+        cache=BENCH_CACHE,
+    )
     result = benchmark.pedantic(
-        lambda: experiments.communication_interval_study(
-            scale=BENCH_DRONE_SCALE,
-            interval_multipliers=(1, 2, 3),
-            fault_ber=1e-2,
-            cache=BENCH_CACHE,
-        ),
-        rounds=1,
-        iterations=1,
+        run_plan, args=(plan,), kwargs={"workers": campaign_workers}, rounds=1, iterations=1
     )
     save_result("fig6b", result)
     rounds = result.series["communication_rounds"]

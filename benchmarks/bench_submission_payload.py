@@ -1,0 +1,70 @@
+"""Submission-payload size: by-reference vs by-value policy shipping.
+
+Before per-worker policy residency, decomposed plans shipped pretrained
+baselines to every cell *by value*: the pool re-pickled the same state dict
+once per cell.  Cells now carry :class:`~repro.runtime.residency.PolicyRef`
+handles and workers decode each referenced policy once.  This benchmark
+pickles every cell of the policy-heavy plans both ways and reports the
+payload shrink; the asserted floor is the acceptance criterion for the
+residency refactor.
+"""
+
+import pickle
+
+from benchmarks._common import (
+    BENCH_CACHE,
+    BENCH_DRONE_SCALE,
+    BENCH_GRIDWORLD_SCALE,
+    RESULTS_DIR,
+)
+from repro.core.experiments.drone_training import drone_training_plan
+from repro.core.experiments.mitigation_experiments import inference_mitigation_plan
+from repro.runtime.residency import PolicyRef, resolve_policy_ref
+from repro.utils.serialization import save_json
+
+
+def _submission_sizes(plan) -> dict:
+    """Total pickled bytes of the plan's cells, by-ref and by-value."""
+    by_ref = 0
+    by_value = 0
+    for cell in plan.cells:
+        by_ref += len(pickle.dumps(cell))
+        resolved = {
+            name: resolve_policy_ref(value) if isinstance(value, PolicyRef) else value
+            for name, value in cell.kwargs.items()
+        }
+        by_value += len(pickle.dumps({**cell.__dict__, "kwargs": resolved}))
+    return {
+        "cells": plan.cell_count,
+        "by_ref_bytes": by_ref,
+        "by_value_bytes": by_value,
+        "shrink_factor": by_value / by_ref if by_ref else float("inf"),
+    }
+
+
+def test_submission_payload_shrink(benchmark):
+    plans = {
+        "fig5a": drone_training_plan("agent", scale=BENCH_DRONE_SCALE, cache=BENCH_CACHE),
+        "fig8b": inference_mitigation_plan(
+            "drone", scale=BENCH_DRONE_SCALE, cache=BENCH_CACHE
+        ),
+        "fig8a": inference_mitigation_plan(
+            "gridworld", scale=BENCH_GRIDWORLD_SCALE, cache=BENCH_CACHE
+        ),
+    }
+    report = benchmark.pedantic(
+        lambda: {name: _submission_sizes(plan) for name, plan in plans.items()},
+        rounds=1,
+        iterations=1,
+    )
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    save_json(RESULTS_DIR / "submission_payload.json", report)
+    for name, sizes in report.items():
+        print(
+            f"{name}: {sizes['cells']} cells, "
+            f"{sizes['by_value_bytes']} B by value -> {sizes['by_ref_bytes']} B by ref "
+            f"({sizes['shrink_factor']:.1f}x smaller)"
+        )
+        # The acceptance floor: policy-heavy cells must no longer carry the
+        # state dict — the by-ref submission is at least 5x smaller.
+        assert sizes["shrink_factor"] > 5.0

@@ -63,15 +63,17 @@ def drone_training_plan(
 ) -> CampaignPlan:
     """Decompose a Fig. 5 heatmap into independent campaign cells.
 
-    The behaviour-cloned baseline policy is resolved through the disk-backed
-    policy cache once, at plan time, and shipped to every cell by value.
+    The behaviour-cloned baseline policy is trained (or found) in the
+    disk-backed policy cache once, at plan time; cells reference it by
+    :class:`~repro.runtime.residency.PolicyRef`, so each pooled worker decodes
+    it once instead of unpickling it per cell.
     """
     scale = scale or DroneScale.fast()
     if location not in ("agent", "server", "single"):
         raise ValueError(f"location must be 'agent', 'server' or 'single', got {location!r}")
     cache = cache or default_cache()
     ber_values = tuple(ber_values)
-    pretrained = cache.drone_policy(scale)["policy"]
+    pretrained = cache.drone_policy_ref(scale)
     episodes = _injection_episodes(scale, episode_fractions)
     experiment_id = {"agent": "fig5a", "server": "fig5b", "single": "fig5c"}[location]
     cells = [
@@ -132,6 +134,86 @@ def drone_training_heatmap(
     return drone_training_plan(location, scale, ber_values, episode_fractions, cache).run_serial()
 
 
+def drone_count_cell(
+    scale: DroneScale,
+    count: int,
+    location: str,
+    ber: float,
+    ber_index: int,
+    pretrained: dict,
+) -> float:
+    """One (drone count, fault location, BER) point of the Fig. 6a sweep."""
+    count_scale = scale.with_drones(count)
+    system = build_drone_frl_system(count_scale, initial_state=pretrained)
+    callback = make_training_fault(
+        location=location,
+        bit_error_rate=ber,
+        injection_episode=max(0, scale.fine_tune_episodes // 2),
+        datatype=scale.datatype,
+        rng=RngFactory(scale.seed).stream("count", count, location, ber_index),
+    )
+    system.train(scale.fine_tune_episodes, callbacks=[callback])
+    return system.average_flight_distance(attempts=scale.evaluation_attempts)
+
+
+def drone_count_plan(
+    scale: Optional[DroneScale] = None,
+    drone_counts: Sequence[int] = (2, 4, 6),
+    ber_values: Sequence[float] = (0.0, 1e-2, 1e-1),
+    cache: Optional[PolicyCache] = None,
+) -> CampaignPlan:
+    """Decompose the Fig. 6a sweep into one cell per (count, location, BER).
+
+    Every swarm size gets its own behaviour-cloned baseline, trained (or
+    found) in the policy cache at plan time and referenced from the cells, so
+    a pool spreads the per-point fine-tuning runs without ever retraining a
+    baseline in a worker.
+    """
+    scale = scale or DroneScale.fast()
+    cache = cache or default_cache()
+    drone_counts = tuple(drone_counts)
+    ber_values = tuple(ber_values)
+    pretrained_refs = {
+        count: cache.drone_policy_ref(scale.with_drones(count)) for count in drone_counts
+    }
+    locations = ("server", "agent")
+    cells = [
+        CellTask(
+            experiment_id="fig6a",
+            key=("drones", count, "location", location, "ber", ber_index),
+            fn=drone_count_cell,
+            kwargs={
+                "scale": scale,
+                "count": count,
+                "location": location,
+                "ber": ber,
+                "ber_index": ber_index,
+                "pretrained": pretrained_refs[count],
+            },
+        )
+        for count in drone_counts
+        for location in locations
+        for ber_index, ber in enumerate(ber_values)
+    ]
+
+    def merge(outputs):
+        series: Dict[str, list] = {}
+        cursor = iter(outputs)
+        for count in drone_counts:
+            for location in locations:
+                series[f"({count},{location})"] = [next(cursor) for _ in ber_values]
+        return SweepResult(
+            title="Resilience vs number of drones (Fig. 6a)",
+            metric="safe flight distance (m)",
+            x_axis="BER",
+            x_values=[f"{ber:g}" for ber in ber_values],
+            series=series,
+            metadata={"drone_counts": list(drone_counts)},
+        )
+
+    return CampaignPlan(experiment_id="fig6a", cells=cells, merge=merge)
+
+
 def drone_count_sweep(
     scale: Optional[DroneScale] = None,
     drone_counts: Sequence[int] = (2, 4, 6),
@@ -142,38 +224,110 @@ def drone_count_sweep(
 
     Reproduces Fig. 6a: one series per (drone count, fault location) pair.
     More drones smooth agent faults more strongly and generalize better under
-    server faults.
+    server faults.  Implemented as the serial execution of
+    :func:`drone_count_plan`, so it matches the parallel campaign runner bit
+    for bit.
     """
+    return drone_count_plan(scale, drone_counts, ber_values, cache).run_serial()
+
+
+_INTERVAL_SCENARIOS = ("no_fault", "agent_fault", "server_fault")
+
+
+def communication_interval_cell(
+    scale: DroneScale,
+    multiplier: int,
+    scenario: str,
+    fault_ber: float,
+    switch_episode: int,
+    injection_episode: int,
+    pretrained: dict,
+) -> tuple:
+    """One (interval multiplier, fault scenario) run of the Fig. 6b study.
+
+    Returns ``(flight_distance, communication_rounds)``; the merge step only
+    uses the round count from the ``no_fault`` scenario, matching the
+    historical serial loop.
+    """
+    schedule = CommunicationSchedule(
+        base_interval=scale.communication_interval,
+        multiplier=multiplier,
+        switch_episode=switch_episode,
+    )
+    system = build_drone_frl_system(scale, initial_state=pretrained, schedule=schedule)
+    callbacks = []
+    if scenario != "no_fault":
+        location = "agent" if scenario == "agent_fault" else "server"
+        callbacks.append(
+            make_training_fault(
+                location=location,
+                bit_error_rate=fault_ber,
+                injection_episode=injection_episode,
+                datatype=scale.datatype,
+                rng=RngFactory(scale.seed).stream("interval", multiplier, scenario),
+            )
+        )
+    log = system.train(scale.fine_tune_episodes, callbacks=callbacks)
+    distance = system.average_flight_distance(attempts=scale.evaluation_attempts)
+    return distance, float(log.communication_count)
+
+
+def communication_interval_plan(
+    scale: Optional[DroneScale] = None,
+    interval_multipliers: Sequence[int] = (1, 2, 3),
+    fault_ber: float = 1e-2,
+    cache: Optional[PolicyCache] = None,
+) -> CampaignPlan:
+    """Decompose the Fig. 6b study into one cell per (multiplier, scenario)."""
     scale = scale or DroneScale.fast()
     cache = cache or default_cache()
-    series: Dict[str, list] = {}
-    for count in drone_counts:
-        count_scale = scale.with_drones(count)
-        pretrained = cache.drone_policy(count_scale)["policy"]
-        for location in ("server", "agent"):
-            name = f"({count},{location})"
-            series[name] = []
-            for ber_index, ber in enumerate(ber_values):
-                system = build_drone_frl_system(count_scale, initial_state=pretrained)
-                callback = make_training_fault(
-                    location=location,
-                    bit_error_rate=ber,
-                    injection_episode=max(0, scale.fine_tune_episodes // 2),
-                    datatype=scale.datatype,
-                    rng=RngFactory(scale.seed).stream("count", count, location, ber_index),
-                )
-                system.train(scale.fine_tune_episodes, callbacks=[callback])
-                series[name].append(
-                    system.average_flight_distance(attempts=scale.evaluation_attempts)
-                )
-    return SweepResult(
-        title="Resilience vs number of drones (Fig. 6a)",
-        metric="safe flight distance (m)",
-        x_axis="BER",
-        x_values=[f"{ber:g}" for ber in ber_values],
-        series=series,
-        metadata={"drone_counts": list(drone_counts)},
-    )
+    interval_multipliers = tuple(interval_multipliers)
+    pretrained = cache.drone_policy_ref(scale)
+    switch_episode = max(1, scale.fine_tune_episodes // 3)
+    injection_episode = max(switch_episode, scale.fine_tune_episodes - 2)
+    cells = [
+        CellTask(
+            experiment_id="fig6b",
+            key=("multiplier", multiplier, "scenario", scenario),
+            fn=communication_interval_cell,
+            kwargs={
+                "scale": scale,
+                "multiplier": multiplier,
+                "scenario": scenario,
+                "fault_ber": fault_ber,
+                "switch_episode": switch_episode,
+                "injection_episode": injection_episode,
+                "pretrained": pretrained,
+            },
+        )
+        for multiplier in interval_multipliers
+        for scenario in _INTERVAL_SCENARIOS
+    ]
+
+    def merge(outputs):
+        series: Dict[str, list] = {
+            "no_fault": [],
+            "agent_fault": [],
+            "server_fault": [],
+            "communication_rounds": [],
+        }
+        cursor = iter(outputs)
+        for _multiplier in interval_multipliers:
+            for scenario in _INTERVAL_SCENARIOS:
+                distance, rounds = next(cursor)
+                series[scenario].append(distance)
+                if scenario == "no_fault":
+                    series["communication_rounds"].append(rounds)
+        return SweepResult(
+            title="Communication interval trade-off (Fig. 6b)",
+            metric="safe flight distance (m) / rounds",
+            x_axis="interval multiplier",
+            x_values=[f"{m}x" for m in interval_multipliers],
+            series=series,
+            metadata={"fault_ber": fault_ber, "switch_episode": switch_episode},
+        )
+
+    return CampaignPlan(experiment_id="fig6b", cells=cells, merge=merge)
 
 
 def communication_interval_study(
@@ -188,49 +342,6 @@ def communication_interval_study(
     the fine-tuning episodes (the paper switches after the 2000th episode).
     For every multiplier the no-fault, agent-fault and server-fault flight
     distances are measured along with the number of communication rounds.
+    Implemented as the serial execution of :func:`communication_interval_plan`.
     """
-    scale = scale or DroneScale.fast()
-    cache = cache or default_cache()
-    pretrained = cache.drone_policy(scale)["policy"]
-    switch_episode = max(1, scale.fine_tune_episodes // 3)
-    injection_episode = max(switch_episode, scale.fine_tune_episodes - 2)
-    series: Dict[str, list] = {
-        "no_fault": [],
-        "agent_fault": [],
-        "server_fault": [],
-        "communication_rounds": [],
-    }
-    for multiplier in interval_multipliers:
-        schedule = CommunicationSchedule(
-            base_interval=scale.communication_interval,
-            multiplier=multiplier,
-            switch_episode=switch_episode,
-        )
-        for scenario in ("no_fault", "agent_fault", "server_fault"):
-            system = build_drone_frl_system(scale, initial_state=pretrained, schedule=schedule)
-            callbacks = []
-            if scenario != "no_fault":
-                location = "agent" if scenario == "agent_fault" else "server"
-                callbacks.append(
-                    make_training_fault(
-                        location=location,
-                        bit_error_rate=fault_ber,
-                        injection_episode=injection_episode,
-                        datatype=scale.datatype,
-                        rng=RngFactory(scale.seed).stream("interval", multiplier, scenario),
-                    )
-                )
-            log = system.train(scale.fine_tune_episodes, callbacks=callbacks)
-            series[scenario].append(
-                system.average_flight_distance(attempts=scale.evaluation_attempts)
-            )
-            if scenario == "no_fault":
-                series["communication_rounds"].append(float(log.communication_count))
-    return SweepResult(
-        title="Communication interval trade-off (Fig. 6b)",
-        metric="safe flight distance (m) / rounds",
-        x_axis="interval multiplier",
-        x_values=[f"{m}x" for m in interval_multipliers],
-        series=series,
-        metadata={"fault_ber": fault_ber, "switch_episode": switch_episode},
-    )
+    return communication_interval_plan(scale, interval_multipliers, fault_ber, cache).run_serial()

@@ -96,18 +96,19 @@ def gridworld_inference_plan(
     """Decompose the Fig. 4 sweep into independent (BER, repeat) cells.
 
     The trained baselines are resolved through the disk-backed policy cache at
-    plan time (training them once in the parent process), then shipped to the
-    cells by value — pooled workers never retrain a baseline.
+    plan time (training them once in the parent process); cells carry
+    :class:`~repro.runtime.residency.PolicyRef` handles, so pooled workers
+    never retrain a baseline and decode each referenced policy only once.
     """
     scale = scale or GridWorldScale.fast()
     cache = cache or default_cache()
     ber_values = tuple(ber_values)
     variants = tuple(variants)
     trained = cache.gridworld_policies(scale)
-    multi_policy = trained["consensus"]
     clean_success_rate = trained["success_rate"] * 100.0
+    multi_policy = cache.gridworld_consensus_ref(scale)
     single_policy = (
-        cache.gridworld_single_policy(scale) if "Single-Trans-M" in variants else None
+        cache.gridworld_single_policy_ref(scale) if "Single-Trans-M" in variants else None
     )
     attempts = max(2, scale.evaluation_attempts // 2)
     cells = [

@@ -4,13 +4,18 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
+import numpy as np
+
 from repro.core.config import GridWorldScale
 from repro.core.fault_callbacks import make_training_fault
+from repro.core.pretrained import PolicyCache, default_cache
 from repro.core.results import HeatmapResult, SweepResult, TableResult
 from repro.core.workloads import build_gridworld_frl_system, build_gridworld_single_system
 from repro.quant.bitstats import bit_breakdown
+from repro.quant.datatypes import resolve_datatype
 from repro.rl.policy import consensus_policy_std
 from repro.runtime.cells import CampaignPlan, CellTask, accumulate_heatmap, grid_merge_order
+from repro.utils.bitops import count_ones
 from repro.utils.rng import RngFactory
 
 DEFAULT_BERS = (0.0, 0.005, 0.01, 0.02)
@@ -233,6 +238,82 @@ def policy_std_table(
 ) -> TableResult:
     """Standard deviation of the consensus policy (paper Table I)."""
     return policy_std_plan(scale, agent_counts).run_serial()
+
+
+def weight_bits_cell(consensus: dict, names: Optional[list], datatype: str) -> list:
+    """Bit statistics of the named parameter tensors (all of them for ``None``).
+
+    Returns ``[min, max, one_bit_count, value_count]`` — integer bit counts
+    rather than fractions, so per-parameter outputs merge back into the
+    whole-policy breakdown without floating-point error.
+    """
+    selected = consensus if names is None else {name: consensus[name] for name in names}
+    flat = np.concatenate(
+        [np.asarray(value, dtype=np.float64).reshape(-1) for value in selected.values()]
+    )
+    resolved = resolve_datatype(datatype)
+    codes, _context = resolved.encode(flat)
+    return [
+        float(flat.min()),
+        float(flat.max()),
+        count_ones(codes, resolved.bit_width),
+        int(flat.size),
+    ]
+
+
+def weight_distribution_plan(
+    scale: Optional[GridWorldScale] = None,
+    datatype: Optional[str] = None,
+    cache: Optional[PolicyCache] = None,
+) -> CampaignPlan:
+    """Decompose Fig. 3d into one cell per parameter tensor of the policy.
+
+    The fixed-point Q formats encode elementwise, so per-parameter bit counts
+    sum exactly to the whole-policy breakdown.  The int8 affine codec derives
+    its scale from the *whole* tensor being encoded — slicing would change the
+    encoding — so int8 keeps a single whole-policy cell.
+    """
+    scale = scale or GridWorldScale.fast()
+    datatype = datatype or scale.datatype
+    cache = cache or default_cache()
+    # Training (when needed) happens here, in the parent; cells only read.
+    parameter_names = sorted(cache.gridworld_policies(scale)["consensus"])
+    consensus_ref = cache.gridworld_consensus_ref(scale)
+    resolved = resolve_datatype(datatype)
+    slices = (
+        [None] if resolved.name == "int8" else [[name] for name in parameter_names]
+    )
+    cells = [
+        CellTask(
+            experiment_id="fig3d",
+            key=("parameters", "all" if names is None else names[0]),
+            fn=weight_bits_cell,
+            kwargs={"consensus": consensus_ref, "names": names, "datatype": datatype},
+        )
+        for names in slices
+    ]
+
+    def merge(outputs):
+        minimum = min(output[0] for output in outputs)
+        maximum = max(output[1] for output in outputs)
+        ones = sum(int(output[2]) for output in outputs)
+        total_bits = sum(int(output[3]) for output in outputs) * resolved.bit_width
+        one_fraction = ones / total_bits if total_bits else 0.0
+        rows = [
+            ["min weight", minimum],
+            ["max weight", maximum],
+            ["0 bits (%)", (1.0 - one_fraction) * 100.0],
+            ["1 bits (%)", one_fraction * 100.0],
+            ["total bits", float(total_bits)],
+        ]
+        return TableResult(
+            title=f"Policy weight distribution under {datatype} storage (Fig. 3d)",
+            headers=["quantity", "value"],
+            rows=rows,
+            metadata={"datatype": datatype},
+        )
+
+    return CampaignPlan(experiment_id="fig3d", cells=cells, merge=merge)
 
 
 def weight_distribution(

@@ -108,7 +108,7 @@ def training_mitigation_plan(
         total_episodes = scale.fine_tune_episodes
         detection_k = consecutive_episodes or max(1, scale.fine_tune_episodes // 6)
         metric = "safe flight distance (m)"
-        pretrained = cache.drone_policy(scale)["policy"]
+        pretrained = cache.drone_policy_ref(scale)
 
     experiment_id = "fig7a" if workload == "gridworld" else "fig7b"
     cells = [
@@ -247,13 +247,13 @@ def inference_mitigation_plan(
     if workload == "gridworld":
         scale = scale or GridWorldScale.fast()
         ber_values = tuple(ber_values) if ber_values is not None else (0.0, 0.005, 0.01, 0.02)
-        policy = cache.gridworld_policies(scale)["consensus"]
+        policy = cache.gridworld_consensus_ref(scale)
         attempts = max(2, scale.evaluation_attempts // 2)
         metric = "success rate (%)"
     else:
         scale = scale or DroneScale.fast()
         ber_values = tuple(ber_values) if ber_values is not None else (0.0, 1e-3, 1e-2, 1e-1)
-        policy = cache.drone_policy(scale)["policy"]
+        policy = cache.drone_policy_ref(scale)
         attempts = scale.evaluation_attempts
         metric = "safe flight distance (m)"
 

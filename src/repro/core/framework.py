@@ -37,22 +37,11 @@ class FaultCharacterizationFramework:
         self.cache = cache or default_cache()
         self.results: Dict[str, object] = {}
         # Whole-experiment entries for the artifacts without a cell
-        # decomposition; everything else routes through repro.runtime.plans.
+        # decomposition (fig3e's convergence loop is inherently sequential,
+        # fig9 is a cheap static table); everything else routes through
+        # repro.runtime.plans.
         self._registry: Dict[str, Callable[[], object]] = {
-            "fig3d": lambda: experiments.weight_distribution(
-                scale=self.gridworld_scale,
-                consensus=self.cache.gridworld_policies(self.gridworld_scale)["consensus"],
-            ),
             "fig3e": lambda: experiments.convergence_after_fault(scale=self.gridworld_scale),
-            "fig6a": lambda: experiments.drone_count_sweep(
-                scale=self.drone_scale, drone_counts=(2, 4), cache=self.cache
-            ),
-            "fig6b": lambda: experiments.communication_interval_study(
-                scale=self.drone_scale, cache=self.cache
-            ),
-            "datatypes": lambda: experiments.datatype_study(
-                scale=self.drone_scale, cache=self.cache
-            ),
             "fig9": lambda: experiments.overhead_comparison(),
         }
 

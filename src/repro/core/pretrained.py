@@ -28,6 +28,7 @@ from repro.core.workloads import (
     drone_environments,
 )
 from repro.rl.pretrain import PretrainConfig, behaviour_clone
+from repro.runtime.residency import PolicyRef
 from repro.utils.serialization import load_json, save_json, state_dict_from_lists, state_dict_to_lists
 
 StateDict = Dict[str, np.ndarray]
@@ -68,6 +69,40 @@ class PolicyCache:
                 path.unlink()
                 removed += 1
         return removed
+
+    # ---------------------------------------------------------- policy references
+    def _ref(self, key: str, field: str) -> PolicyRef:
+        return PolicyRef(cache_dir=str(self.cache_dir), key=key, field=field)
+
+    def gridworld_consensus_ref(self, scale: GridWorldScale) -> PolicyRef:
+        """By-reference handle to the trained GridWorld consensus policy.
+
+        Trains (and stores) the baseline if the cache entry is missing, so the
+        returned ref always resolves.  Existence is probed by path — cache
+        writes are atomic (``os.replace``), so a present file is a complete
+        entry and the multi-MB JSON need not be parsed just to hand out a
+        ref.  Campaign cells carry this handle instead of the state dict
+        itself; pooled workers decode the cache entry once per process (see
+        :mod:`repro.runtime.residency`).
+        """
+        key = _scale_key("gridworld", scale)
+        if not self._path(key).exists():
+            self.gridworld_policies(scale)
+        return self._ref(key, "consensus")
+
+    def gridworld_single_policy_ref(self, scale: GridWorldScale) -> PolicyRef:
+        """By-reference handle to the trained single-agent GridWorld policy."""
+        key = _scale_key("gridworld-single", scale)
+        if not self._path(key).exists():
+            self.gridworld_single_policy(scale)
+        return self._ref(key, "policy")
+
+    def drone_policy_ref(self, scale: DroneScale) -> PolicyRef:
+        """By-reference handle to the behaviour-cloned drone policy."""
+        key = _scale_key("drone", scale)
+        if not self._path(key).exists():
+            self.drone_policy(scale)
+        return self._ref(key, "policy")
 
     # ------------------------------------------------------- GridWorld baseline
     def gridworld_policies(self, scale: GridWorldScale, refresh: bool = False) -> dict:

@@ -14,6 +14,7 @@ acyclic.
 """
 
 from repro.runtime.cells import CampaignPlan, CellTask, derive_cell_seeds
+from repro.runtime.residency import PolicyRef, resolve_policy_ref
 
 _LAZY_EXPORTS = {
     "CampaignContext": "repro.runtime.plans",
@@ -24,12 +25,16 @@ _LAZY_EXPORTS = {
     "CampaignRunner": "repro.runtime.runner",
     "CellExecutionError": "repro.runtime.runner",
     "default_worker_count": "repro.runtime.runner",
+    "CampaignJournal": "repro.runtime.journal",
+    "plan_fingerprint": "repro.runtime.journal",
 }
 
 __all__ = [
     "CampaignPlan",
     "CellTask",
+    "PolicyRef",
     "derive_cell_seeds",
+    "resolve_policy_ref",
     *sorted(_LAZY_EXPORTS),
 ]
 

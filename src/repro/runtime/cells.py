@@ -20,6 +20,8 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.runtime.residency import resolve_policy_kwargs
+
 
 @dataclass
 class CellTask:
@@ -29,6 +31,11 @@ class CellTask:
     ``kwargs`` its keyword arguments; ``key`` identifies the cell within its
     experiment (e.g. ``("repeat", 0, "ber", 1, "episode", 2)``) for progress
     and error reporting.
+
+    Pretrained baselines appear in ``kwargs`` as
+    :class:`repro.runtime.residency.PolicyRef` handles rather than state
+    dicts; :meth:`run` resolves them through the per-process residency
+    registry, so the cell function itself always receives plain state dicts.
     """
 
     experiment_id: str
@@ -37,7 +44,7 @@ class CellTask:
     kwargs: Dict = field(default_factory=dict)
 
     def run(self):
-        return self.fn(**self.kwargs)
+        return self.fn(**resolve_policy_kwargs(self.kwargs))
 
     def describe(self) -> str:
         return f"{self.experiment_id}{list(self.key)}"
@@ -49,10 +56,11 @@ class CampaignPlan:
 
     ``merge`` receives the cell outputs in the same order as ``cells``
     regardless of completion order, so floating-point accumulation matches the
-    original serial loops exactly.  Shared pretrained baselines are resolved
-    through the disk-backed policy cache while the plan is *built* (in the
-    parent process) and shipped to cells by value, so pooled workers never
-    retrain them.
+    original serial loops exactly.  Shared pretrained baselines are trained
+    (or found) in the disk-backed policy cache while the plan is *built* (in
+    the parent process) and referenced from cells by
+    :class:`~repro.runtime.residency.PolicyRef`, so pooled workers never
+    retrain them and submission payloads stay small.
     """
 
     experiment_id: str

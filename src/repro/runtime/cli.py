@@ -5,10 +5,17 @@ Examples::
     repro-campaign --list
     repro-campaign fig3a fig4 --scale tiny --workers 4 --output results/
     repro-campaign fig3a --replicates 3 --seed 7   # 3 independent seeds
+    repro-campaign fig5a --workers 4 --batch-cells 4 --output results/
+    repro-campaign fig5a --workers 4 --output results/ --resume  # after a kill
 
 Replicate seeds are derived with ``numpy.random.SeedSequence.spawn`` (see
 :func:`repro.runtime.cells.derive_cell_seeds`), so adding replicates never
 perturbs existing ones.
+
+With ``--output`` (or an explicit ``--journal-dir``), completed cell outputs
+stream to a per-artifact JSONL journal as the campaign runs; ``--resume``
+skips already-journaled cells after an interruption and produces a payload
+byte-identical to an uninterrupted run.
 """
 
 from __future__ import annotations
@@ -65,10 +72,31 @@ def build_parser() -> argparse.ArgumentParser:
         help="run each artifact N times under independently derived seeds",
     )
     parser.add_argument(
+        "--batch-cells",
+        type=int,
+        default=1,
+        metavar="N",
+        help="group up to N cells into one pool submission to amortize "
+        "process round-trips (default: 1)",
+    )
+    parser.add_argument(
         "--output",
         type=Path,
         default=None,
         help="directory for per-artifact .json/.txt result files",
+    )
+    parser.add_argument(
+        "--journal-dir",
+        type=Path,
+        default=None,
+        help="directory for streaming per-artifact JSONL cell journals "
+        "(default: <output>/journals when --output is given)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip cells already recorded in the journal of a previous "
+        "(interrupted) run of the same campaign",
     )
     parser.add_argument(
         "--cache-dir",
@@ -103,6 +131,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         parser.error("no experiments given (or use --list)")
     if args.replicates < 1:
         parser.error("--replicates must be >= 1")
+    if args.batch_cells < 1:
+        parser.error("--batch-cells must be >= 1")
+    journal_dir = args.journal_dir
+    if journal_dir is None and args.output is not None:
+        journal_dir = args.output / "journals"
+    if args.resume and journal_dir is None:
+        parser.error("--resume needs a journal (give --journal-dir or --output)")
 
     gridworld_factory, drone_factory = _SCALE_PRESETS[args.scale]
     workers = args.workers if args.workers != 0 else default_worker_count()
@@ -134,6 +169,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             drone_scale=drone_scale,
             cache=cache,
             workers=workers,
+            batch_size=args.batch_cells,
+            journal_dir=journal_dir,
+            resume=args.resume,
         )
         suffix = f"@r{replicate}" if args.replicates > 1 else ""
         if args.replicates > 1:
@@ -147,12 +185,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 # Plan building can fail too (corrupt cache entries, baseline
                 # training errors), so it sits inside the per-artifact guard.
                 plan = runner.plan(experiment_id)
-                print(
-                    f"[repro-campaign] {label}: {plan.cell_count} cells "
-                    f"on {workers} worker(s)...",
-                    flush=True,
-                )
-                result = runner.run_plan(plan)
+                # Journals are per label, so each replicate resumes its own.
+                journal = runner.journal_for(plan, name=label)
+                journaled = len(journal.load()) if journal is not None and args.resume else 0
+                progress = f"{plan.cell_count} cells on {workers} worker(s)"
+                if args.batch_cells > 1:
+                    progress += f", batches of {args.batch_cells}"
+                if journaled:
+                    progress += f", {journaled} already journaled"
+                print(f"[repro-campaign] {label}: {progress}...", flush=True)
+                result = runner.run_plan(plan, journal=journal)
             except KeyboardInterrupt:
                 raise
             except Exception as error:

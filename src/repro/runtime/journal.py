@@ -1,0 +1,180 @@
+"""Streaming result persistence for campaign runs.
+
+A :class:`CampaignJournal` is a per-artifact JSONL file that records every
+completed cell output as soon as it is available.  A killed campaign can then
+be restarted with ``repro-campaign <id> --resume``: already-journaled cells
+are skipped and the merged payload is byte-identical to an uninterrupted run.
+
+File format — one JSON object per line:
+
+* a header line ``{"kind": "header", "experiment_id": ..., "cell_count": ...,
+  "fingerprint": ...}`` identifying the exact plan the journal belongs to;
+* cell lines ``{"kind": "cell", "index": ..., "key": [...], "output": ...}``
+  in completion (not plan) order.
+
+The fingerprint digests every cell's key and keyword arguments, so a journal
+written for a different scale, seed or grid silently invalidates instead of
+poisoning a resumed run.  Each line is flushed and fsynced when written;
+loading tolerates a truncated or corrupt trailing line (the signature of a
+mid-write kill) by discarding it.
+
+Byte-identity across interruption is guaranteed by construction: outputs are
+merged from their JSON-decoded form whether they were just computed or read
+back from the journal, and JSON round trips floats exactly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Dict, Optional, TextIO
+
+from repro.utils.serialization import NumpyJSONEncoder
+
+
+def plan_fingerprint(plan) -> str:
+    """A digest of the plan's cell structure (keys and keyword arguments).
+
+    Values without a native JSON form (scales, policy refs) are digested via
+    ``repr``, which is deterministic for the dataclasses used in cell kwargs.
+    """
+    cell_descriptions = [
+        [list(cell.key), sorted((name, repr(value)) for name, value in cell.kwargs.items())]
+        for cell in plan.cells
+    ]
+    payload = json.dumps([plan.experiment_id, cell_descriptions], sort_keys=True)
+    return hashlib.sha1(payload.encode("utf8")).hexdigest()
+
+
+class CampaignJournal:
+    """Append-only JSONL record of one plan's completed cell outputs."""
+
+    def __init__(self, path, plan) -> None:
+        self.path = Path(path)
+        self.experiment_id = plan.experiment_id
+        self.cell_count = plan.cell_count
+        self.fingerprint = plan_fingerprint(plan)
+        self._keys = [list(cell.key) for cell in plan.cells]
+        self._handle: Optional[TextIO] = None
+        # Byte length of the valid prefix found by load(); start() truncates a
+        # resumed journal to this point so new records never concatenate onto
+        # a partial trailing write from the interrupted run.
+        self._valid_bytes = 0
+        self._loaded: Optional[Dict[int, object]] = None
+
+    # ------------------------------------------------------------------ reading
+    def load(self) -> Dict[int, object]:
+        """Completed cell outputs recorded for *this* plan, keyed by cell index.
+
+        Returns an empty dict when the journal is missing, belongs to a
+        different plan (fingerprint mismatch), or has an unreadable header.
+        A corrupt or truncated trailing line — the signature of a kill during
+        a write — is discarded; everything before it is kept.
+
+        The parse is cached: a journal object is single-use per campaign run,
+        so callers (CLI progress reporting, then the runner) share one scan.
+        """
+        if self._loaded is not None:
+            return self._loaded
+        self._loaded = {}
+        self._valid_bytes = 0
+        if not self.path.exists():
+            return self._loaded
+        completed: Dict[int, object] = {}
+        valid_bytes = 0
+        raw = self.path.read_bytes()
+        # Only newline-terminated lines count: dropping the final split
+        # element discards either the empty string after the last newline or
+        # an unterminated partial write, which must not be trusted even when
+        # its prefix happens to parse.
+        lines = raw.split(b"\n")[:-1]
+        for line_number, line in enumerate(lines):
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                # Only a trailing partial write is tolerable; stop here.
+                break
+            if line_number == 0:
+                if (
+                    not isinstance(record, dict)
+                    or record.get("kind") != "header"
+                    or record.get("fingerprint") != self.fingerprint
+                ):
+                    return self._loaded
+                valid_bytes += len(line) + 1
+                continue
+            if not isinstance(record, dict) or record.get("kind") != "cell":
+                break
+            index = record.get("index")
+            if (
+                not isinstance(index, int)
+                or not 0 <= index < self.cell_count
+                or record.get("key") != self._keys[index]
+                or "output" not in record
+            ):
+                break
+            completed[index] = record["output"]
+            valid_bytes += len(line) + 1
+        self._loaded = completed
+        self._valid_bytes = valid_bytes
+        return completed
+
+    # ------------------------------------------------------------------ writing
+    def start(self, completed: Dict[int, object]) -> None:
+        """Open the journal for appending.
+
+        With ``completed`` entries (a resumed run) the existing file is first
+        truncated to the valid prefix :meth:`load` found — cutting off any
+        partial trailing write from the interrupted run — and then extended;
+        otherwise it is rewritten with a fresh header.
+        """
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        if completed:
+            if self._loaded is None:
+                self.load()  # establish the valid-prefix length to keep
+            if self._valid_bytes > 0:
+                with self.path.open("rb+") as handle:
+                    handle.truncate(self._valid_bytes)
+            self._handle = self.path.open("a", encoding="utf8")
+        else:
+            self._handle = self.path.open("w", encoding="utf8")
+            self._append(
+                {
+                    "kind": "header",
+                    "experiment_id": self.experiment_id,
+                    "cell_count": self.cell_count,
+                    "fingerprint": self.fingerprint,
+                }
+            )
+
+    def record(self, index: int, output: object) -> object:
+        """Journal one completed cell and return the JSON-decoded output.
+
+        The decoded form is what merge steps must consume so that resumed and
+        uninterrupted runs accumulate from identical values.
+        """
+        if self._handle is None:
+            raise RuntimeError("journal is not open; call start() first")
+        encoded = json.dumps(
+            {"kind": "cell", "index": index, "key": self._keys[index], "output": output},
+            cls=NumpyJSONEncoder,
+        )
+        self._append_line(encoded)
+        return json.loads(encoded)["output"]
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def _append(self, record: dict) -> None:
+        self._append_line(json.dumps(record, cls=NumpyJSONEncoder))
+
+    def _append_line(self, line: str) -> None:
+        self._handle.write(line + "\n")
+        # Survive a kill -9 mid-campaign: every completed cell reaches disk
+        # before the next one is merged.
+        self._handle.flush()
+        os.fsync(self._handle.fileno())

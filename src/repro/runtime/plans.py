@@ -1,11 +1,13 @@
 """Campaign plan builders for every registered paper artifact.
 
 :func:`build_plan` maps an experiment identifier (``fig3a`` ... ``fig9``,
-``table1``) to a :class:`~repro.runtime.cells.CampaignPlan`.  Artifacts with a
-natural grid structure decompose into many independent cells (the heatmaps,
-the inference sweeps, Table I); the remaining artifacts fall back to a
-single-cell plan that runs the whole experiment function — still off the main
-process when a pool is available, just not spread across workers.
+``table1``) to a :class:`~repro.runtime.cells.CampaignPlan`.  Every artifact
+with independent units of work decomposes into many cells (the heatmaps, the
+inference sweeps, the swarm-size/interval/data-type studies, the per-parameter
+Fig. 3d bit breakdown, Table I); only the inherently sequential Fig. 3e
+convergence loop and the static Fig. 9 table fall back to a single-cell plan
+that runs the whole experiment function — still off the main process when a
+pool is available, just not spread across workers.
 
 This module is the single source of truth for decomposed-artifact parameters:
 :class:`repro.core.framework.FaultCharacterizationFramework` routes those
@@ -20,9 +22,18 @@ from pathlib import Path
 from typing import Callable, Dict, Optional
 
 from repro.core.config import DroneScale, GridWorldScale
-from repro.core.experiments.drone_training import drone_training_plan
+from repro.core.experiments.drone_inference import datatype_study_plan
+from repro.core.experiments.drone_training import (
+    communication_interval_plan,
+    drone_count_plan,
+    drone_training_plan,
+)
 from repro.core.experiments.gridworld_inference import gridworld_inference_plan
-from repro.core.experiments.gridworld_training import gridworld_training_plan, policy_std_plan
+from repro.core.experiments.gridworld_training import (
+    gridworld_training_plan,
+    policy_std_plan,
+    weight_distribution_plan,
+)
 from repro.core.experiments.mitigation_experiments import (
     inference_mitigation_plan,
     training_mitigation_plan,
@@ -97,11 +108,20 @@ _DECOMPOSED_BUILDERS: Dict[str, Callable[[CampaignContext], CampaignPlan]] = {
     "fig8b": lambda ctx: inference_mitigation_plan(
         "drone", scale=ctx.drone_scale, cache=ctx.cache
     ),
+    "fig3d": lambda ctx: weight_distribution_plan(scale=ctx.gridworld_scale, cache=ctx.cache),
+    # The canonical Fig. 6a swarm sizes at reproduction scale.
+    "fig6a": lambda ctx: drone_count_plan(
+        scale=ctx.drone_scale, drone_counts=(2, 4), cache=ctx.cache
+    ),
+    "fig6b": lambda ctx: communication_interval_plan(scale=ctx.drone_scale, cache=ctx.cache),
+    "datatypes": lambda ctx: datatype_study_plan(scale=ctx.drone_scale, cache=ctx.cache),
 }
 
-# Artifacts without a finer decomposition (cheap, or inherently sequential
-# like the Fig. 3e convergence loop); they run as one cell each.
-_FALLBACK_IDS = ("fig3d", "fig3e", "fig6a", "fig6b", "fig9", "datatypes")
+# Artifacts without a finer decomposition, which run as one cell each:
+# fig3e is inherently sequential (each extra-training round of the
+# convergence loop depends on the previous evaluation), and fig9 is a cheap
+# static comparison table.
+_FALLBACK_IDS = ("fig3e", "fig9")
 
 
 def decomposed_experiment_ids() -> list:

@@ -1,0 +1,131 @@
+"""Per-worker residency of pretrained baseline policies.
+
+Decomposed campaign plans used to ship pretrained policies to every cell *by
+value*: the process pool re-pickled the same state dict once per cell, which
+is wasteful at paper scale (thousands of cells sharing a handful of
+baselines).  This module replaces the by-value payload with a
+:class:`PolicyRef` — a ``(cache_dir, key, field)`` handle into the disk-backed
+policy cache — and a module-level registry that makes each referenced policy
+*resident* in a worker process: the JSON cache entry is read and decoded once
+per worker, then every cell that references it receives a cheap in-memory
+copy.
+
+The runner arranges residency through a ``ProcessPoolExecutor`` initializer
+(:func:`preload_policy_refs`), so workers pay the decode cost once, before the
+first cell arrives.  Serial execution resolves through the same registry in
+the parent process, keeping the two paths byte-identical.
+
+This module sits below :mod:`repro.core` in the import graph (like
+:mod:`repro.runtime.cells`), so it reads cache entries directly via the
+serialization helpers instead of importing :class:`repro.core.pretrained.PolicyCache`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.serialization import load_json, state_dict_from_lists
+
+StateDict = Dict[str, np.ndarray]
+
+
+@dataclass(frozen=True)
+class PolicyRef:
+    """A by-reference handle to a pretrained policy in the on-disk cache.
+
+    ``cache_dir`` and ``key`` locate the JSON cache entry (written by
+    :class:`repro.core.pretrained.PolicyCache`); ``field`` names the state
+    dict inside the entry's payload (e.g. ``"policy"`` or ``"consensus"``).
+    Plan builders must ensure the entry exists *before* handing out a ref —
+    workers never train baselines, they only read them.
+    """
+
+    cache_dir: str
+    key: str
+    field: str = "policy"
+
+    @property
+    def path(self) -> Path:
+        return Path(self.cache_dir) / f"{self.key}.json"
+
+    def describe(self) -> str:
+        return f"{self.key}.json[{self.field}]"
+
+
+class PolicyResidencyError(RuntimeError):
+    """A :class:`PolicyRef` could not be resolved against the cache."""
+
+
+# One resident (decoded) state dict per referenced policy, per process.
+_RESIDENT: Dict[PolicyRef, StateDict] = {}
+
+
+def resident_policy_count() -> int:
+    """Number of policies currently resident in this process."""
+    return len(_RESIDENT)
+
+
+def clear_residency() -> None:
+    """Drop every resident policy (test isolation helper)."""
+    _RESIDENT.clear()
+
+
+def _make_resident(ref: PolicyRef) -> StateDict:
+    """Decode ``ref``'s cache entry into the registry (once per process)."""
+    master = _RESIDENT.get(ref)
+    if master is not None:
+        return master
+    if not ref.path.exists():
+        raise PolicyResidencyError(
+            f"policy cache entry {ref.describe()} not found under {ref.cache_dir!r}; "
+            "plan builders must populate the cache before cells are executed"
+        )
+    payload = load_json(ref.path)
+    if not isinstance(payload, dict) or ref.field not in payload:
+        raise PolicyResidencyError(
+            f"policy cache entry {ref.describe()} has no field {ref.field!r}"
+        )
+    master = state_dict_from_lists(payload[ref.field])
+    _RESIDENT[ref] = master
+    return master
+
+
+def resolve_policy_ref(ref: PolicyRef) -> StateDict:
+    """Resolve ``ref`` to a state dict, decoding the cache entry once per process.
+
+    Returns a *fresh copy* of the resident arrays on every call: cells are free
+    to mutate their policy (fault injection, fine-tuning) without corrupting
+    the master copy that later cells in the same worker will receive.
+    """
+    master = _make_resident(ref)
+    return {name: array.copy() for name, array in master.items()}
+
+
+def preload_policy_refs(refs: Sequence[PolicyRef]) -> None:
+    """Make every ref resident now — the process-pool worker initializer."""
+    for ref in refs:
+        _make_resident(ref)
+
+
+def resolve_policy_kwargs(kwargs: Dict) -> Dict:
+    """Replace every :class:`PolicyRef` value in ``kwargs`` with its state dict."""
+    if not any(isinstance(value, PolicyRef) for value in kwargs.values()):
+        return kwargs
+    return {
+        name: resolve_policy_ref(value) if isinstance(value, PolicyRef) else value
+        for name, value in kwargs.items()
+    }
+
+
+def collect_policy_refs(cells: Iterable) -> Tuple[PolicyRef, ...]:
+    """The unique policy refs used by ``cells``, in first-use order."""
+    seen: List[PolicyRef] = []
+    for cell in cells:
+        for value in cell.kwargs.values():
+            if isinstance(value, PolicyRef) and value not in seen:
+                seen.append(value)
+    return tuple(seen)

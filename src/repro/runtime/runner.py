@@ -6,6 +6,20 @@ plan order, so a pool of any size produces byte-identical result payloads to
 the serial fallback (``workers=1``), which in turn is the exact code path the
 experiment functions themselves run.
 
+Three scaling features layer on top of the basic fan-out:
+
+* **Per-worker policy residency** — cells reference pretrained baselines by
+  :class:`~repro.runtime.residency.PolicyRef`; a pool initializer makes every
+  referenced policy resident once per worker, so submission payloads stay
+  small (no per-cell state-dict pickling).
+* **Cell batching** (``batch_size``) — small cells are grouped into one pool
+  submission to amortize process round-trips, e.g. on single-core hosts.
+* **Streaming journals** (``journal_dir`` / an explicit
+  :class:`~repro.runtime.journal.CampaignJournal`) — completed cell outputs
+  are appended to a per-artifact JSONL file as they arrive, and a run with
+  ``resume=True`` skips already-journaled cells, producing a byte-identical
+  merged payload after an interruption.
+
 Worker failures are surfaced as :class:`CellExecutionError` naming the failed
 cell; a worker process dying outright (segfault, OOM kill) raises the same
 error with the pool's diagnostic chained.
@@ -15,14 +29,17 @@ from __future__ import annotations
 
 import multiprocessing
 import os
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from concurrent.futures.process import BrokenProcessPool
-from typing import Dict, List, Optional
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
 
 from repro.core.config import DroneScale, GridWorldScale
 from repro.core.pretrained import PolicyCache
 from repro.runtime.cells import CampaignPlan, CellTask
+from repro.runtime.journal import CampaignJournal
 from repro.runtime.plans import CampaignContext, build_plan, plannable_experiment_ids
+from repro.runtime.residency import PolicyRef, collect_policy_refs, preload_policy_refs
 
 
 class CampaignError(RuntimeError):
@@ -35,16 +52,46 @@ class CellExecutionError(CampaignError):
     def __init__(self, cell: CellTask, message: str) -> None:
         super().__init__(f"campaign cell {cell.describe()} failed: {message}")
         self.cell = cell
+        self.message = message
+
+    def __reduce__(self):
+        # Exceptions raised inside pool workers are pickled back to the
+        # parent; the default reduction would replay __init__ with the
+        # formatted string, so reconstruct from the original arguments.
+        return (type(self), (self.cell, self.message))
 
 
-def _run_cell(cell: CellTask):
-    """Module-level trampoline so cells pickle cleanly into pool workers."""
-    return cell.run()
+def _run_cell_batch(cells: Sequence[CellTask]) -> List[object]:
+    """Run a batch of cells in a pool worker, in order.
+
+    Wraps any cell failure in :class:`CellExecutionError` *inside* the worker,
+    so the parent can attribute the failure to the exact cell even when
+    several cells share one submission.
+    """
+    outputs = []
+    for cell in cells:
+        try:
+            outputs.append(cell.run())
+        except Exception as exc:
+            raise CellExecutionError(cell, f"{type(exc).__name__}: {exc}") from exc
+    return outputs
 
 
 def default_worker_count() -> int:
-    """A sensible default worker count: the machine's CPUs, capped at 8."""
-    return max(1, min(os.cpu_count() or 1, 8))
+    """A sensible default worker count: the *schedulable* CPUs, capped at 8.
+
+    ``os.cpu_count()`` reports the machine's CPUs, which overcounts in
+    cgroup-limited CI containers; prefer ``os.process_cpu_count()`` (3.13+)
+    or the scheduling affinity mask when available.
+    """
+    process_cpu_count = getattr(os, "process_cpu_count", None)
+    if process_cpu_count is not None:
+        count = process_cpu_count()
+    elif hasattr(os, "sched_getaffinity"):
+        count = len(os.sched_getaffinity(0))
+    else:
+        count = os.cpu_count()
+    return max(1, min(count or 1, 8))
 
 
 class CampaignRunner:
@@ -55,6 +102,11 @@ class CampaignRunner:
     ``workers=N`` fans the cells out over ``N`` processes and merges the
     outputs in deterministic plan order, so the result payloads are identical
     to the serial run's.
+
+    ``batch_size=N`` groups up to ``N`` cells into one pool submission.
+    ``journal_dir`` enables streaming result persistence (one
+    ``<experiment_id>.jsonl`` per artifact); with ``resume=True``,
+    already-journaled cells of a matching plan are skipped.
     """
 
     def __init__(
@@ -64,10 +116,16 @@ class CampaignRunner:
         cache: Optional[PolicyCache] = None,
         workers: Optional[int] = None,
         mp_context: Optional[str] = None,
+        batch_size: int = 1,
+        journal_dir: Optional[Path] = None,
+        resume: bool = False,
     ) -> None:
         self.context = CampaignContext.create(gridworld_scale, drone_scale, cache)
         self.workers = max(1, int(workers)) if workers is not None else 1
         self.mp_context = mp_context
+        self.batch_size = max(1, int(batch_size))
+        self.journal_dir = Path(journal_dir) if journal_dir is not None else None
+        self.resume = resume
         self.results: Dict[str, object] = {}
 
     # ------------------------------------------------------------------- plans
@@ -80,10 +138,24 @@ class CampaignRunner:
         """Build (but do not run) the plan for ``experiment_id``."""
         return build_plan(experiment_id, self.context)
 
+    def journal_for(self, plan: CampaignPlan, name: Optional[str] = None):
+        """The streaming journal for ``plan`` under ``journal_dir`` (or None).
+
+        Single-cell plans are not journaled: their only cell either completed
+        (the run finished) or did not, so there is nothing to resume — and
+        fallback cells return result objects rather than JSON-native values.
+        """
+        if self.journal_dir is None or plan.cell_count <= 1:
+            return None
+        return CampaignJournal(
+            self.journal_dir / f"{name or plan.experiment_id}.jsonl", plan
+        )
+
     # --------------------------------------------------------------- execution
     def run(self, experiment_id: str):
         """Run one artifact, parallel when workers allow, and store the result."""
-        result = self.run_plan(self.plan(experiment_id))
+        plan = self.plan(experiment_id)
+        result = self.run_plan(plan, journal=self.journal_for(plan))
         self.results[experiment_id] = result
         return result
 
@@ -93,33 +165,89 @@ class CampaignRunner:
             self.run(experiment_id)
         return dict(self.results)
 
-    def run_plan(self, plan: CampaignPlan):
+    def run_plan(self, plan: CampaignPlan, journal: Optional[CampaignJournal] = None):
         """Execute an explicit plan through the configured executor.
 
         With ``workers > 1`` every plan goes through the pool — including
         single-cell fallback plans, which then run off the main process.
+        With a ``journal``, completed cell outputs stream to disk as they
+        arrive, and ``resume=True`` skips cells the journal already holds;
+        merge inputs then come from their JSON-decoded form in both the
+        journaled and the resumed run, keeping the payloads byte-identical.
         """
-        if self.workers <= 1 or plan.cell_count == 0:
-            return plan.run_serial()
-        outputs = self._map_cells(plan.cells)
-        return plan.merge(outputs)
+        if journal is None:
+            if self.workers <= 1 or plan.cell_count == 0:
+                return plan.run_serial()
+            outputs = self._execute(plan.cells, list(range(plan.cell_count)), None)
+            return plan.merge(outputs)
+        completed = journal.load() if self.resume else {}
+        journal.start(completed)
+        try:
+            outputs = self._execute(plan.cells, self._pending(plan, completed), journal)
+            for index, output in completed.items():
+                outputs[index] = output
+            return plan.merge(outputs)
+        finally:
+            journal.close()
 
-    def _map_cells(self, cells: List[CellTask]) -> List[object]:
+    @staticmethod
+    def _pending(plan: CampaignPlan, completed: Dict[int, object]) -> List[int]:
+        return [index for index in range(plan.cell_count) if index not in completed]
+
+    def _execute(
+        self,
+        cells: List[CellTask],
+        pending: List[int],
+        journal: Optional[CampaignJournal],
+    ) -> List[object]:
+        """Run the pending cells and return the (sparse) output list.
+
+        Outputs land at their cell's plan index; positions of already-completed
+        cells stay ``None`` for the caller to fill from the journal.
+        """
+        outputs: List[object] = [None] * len(cells)
+
+        def deliver(index: int, output: object) -> None:
+            outputs[index] = journal.record(index, output) if journal is not None else output
+
+        if not pending:
+            return outputs
+        if self.workers <= 1:
+            for index in pending:
+                deliver(index, cells[index].run())
+            return outputs
+        batches = [
+            pending[start : start + self.batch_size]
+            for start in range(0, len(pending), self.batch_size)
+        ]
+        self._map_batches(cells, batches, deliver)
+        return outputs
+
+    def _map_batches(self, cells, batches, deliver) -> None:
+        refs = collect_policy_refs(cells[index] for batch in batches for index in batch)
         context = multiprocessing.get_context(self.mp_context)
         pool = ProcessPoolExecutor(
-            max_workers=min(self.workers, len(cells)), mp_context=context
+            max_workers=min(self.workers, len(batches)),
+            mp_context=context,
+            initializer=preload_policy_refs,
+            initargs=(refs,),
         )
         try:
-            futures = [pool.submit(_run_cell, cell) for cell in cells]
-            outputs = []
-            for cell, future in zip(cells, futures):
+            futures = {
+                pool.submit(_run_cell_batch, [cells[index] for index in batch]): batch
+                for batch in batches
+            }
+            # Stream completions as they arrive so the journal captures every
+            # finished cell even if a later batch (or the campaign) dies.
+            for future in as_completed(futures):
+                batch = futures[future]
                 try:
-                    outputs.append(future.result())
+                    batch_outputs = future.result()
                 except BrokenProcessPool as exc:
                     # The executor cannot attribute the crash, so don't claim
                     # this particular cell caused it.
                     raise CellExecutionError(
-                        cell,
+                        cells[batch[0]],
                         "a worker process died before this cell's result was "
                         "returned (the crash may have occurred in any in-flight "
                         "cell)",
@@ -127,8 +255,11 @@ class CampaignRunner:
                 except CampaignError:
                     raise
                 except Exception as exc:
-                    raise CellExecutionError(cell, f"{type(exc).__name__}: {exc}") from exc
-            return outputs
+                    raise CellExecutionError(
+                        cells[batch[0]], f"{type(exc).__name__}: {exc}"
+                    ) from exc
+                for index, output in zip(batch, batch_outputs):
+                    deliver(index, output)
         finally:
             pool.shutdown(wait=True, cancel_futures=True)
 
@@ -141,3 +272,14 @@ class CampaignRunner:
             rendered = result.render() if hasattr(result, "render") else str(result)
             sections.append(f"=== {experiment_id} ===\n{rendered}")
         return "\n\n".join(sections)
+
+
+# Re-exported for callers that need to type-annotate refs without importing
+# the residency module directly.
+__all__ = [
+    "CampaignError",
+    "CampaignRunner",
+    "CellExecutionError",
+    "PolicyRef",
+    "default_worker_count",
+]

@@ -40,7 +40,7 @@ def state_dict_from_lists(encoded: Dict[str, dict]) -> Dict[str, np.ndarray]:
     return state
 
 
-class _NumpyJSONEncoder(json.JSONEncoder):
+class NumpyJSONEncoder(json.JSONEncoder):
     """JSON encoder that understands numpy scalars and arrays."""
 
     def default(self, obj):  # noqa: D102 - stdlib override
@@ -71,7 +71,7 @@ def save_json(path: PathLike, payload: object, indent: int = 2) -> Path:
     fd = os.open(tmp_name, os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o666)
     try:
         with os.fdopen(fd, "w", encoding="utf8") as handle:
-            json.dump(payload, handle, indent=indent, cls=_NumpyJSONEncoder)
+            json.dump(payload, handle, indent=indent, cls=NumpyJSONEncoder)
         os.replace(tmp_name, path)
     except BaseException:
         with contextlib.suppress(OSError):

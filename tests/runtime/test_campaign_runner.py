@@ -81,12 +81,16 @@ class TestPlans:
         assert plan.cell_count == tiny_scale.repeats * 3 * 2
         assert all(cell.experiment_id == "fig3a" for cell in plan.cells)
 
-    def test_inference_plan_uses_cached_baselines(self, tiny_scale, policy_cache):
+    def test_inference_plan_uses_policy_refs(self, tiny_scale, policy_cache):
+        from repro.runtime.residency import PolicyRef
+
         plan = gridworld_inference_plan(scale=tiny_scale, cache=policy_cache, repeats=2)
-        # Policies are shipped to the cells by value: no cell retrains.
+        # Policies are referenced by (cache_dir, key): cells never carry the
+        # state dict itself, and no cell retrains a baseline.
         for cell in plan.cells:
-            assert isinstance(cell.kwargs["multi_policy"], dict)
-            assert isinstance(cell.kwargs["single_policy"], dict)
+            assert isinstance(cell.kwargs["multi_policy"], PolicyRef)
+            assert isinstance(cell.kwargs["single_policy"], PolicyRef)
+            assert cell.kwargs["multi_policy"].cache_dir == str(policy_cache.cache_dir)
 
     def test_decomposed_ids_are_plannable(self):
         assert set(decomposed_experiment_ids()) <= set(plannable_experiment_ids())
@@ -103,6 +107,25 @@ def _explode(message: str) -> float:
 
 def _identity(value: float) -> float:
     return value
+
+
+def _die(value: float) -> float:
+    import os
+
+    os._exit(1)  # simulate a segfault / OOM kill: no exception, no cleanup
+
+
+def _value_plan(count: int, merge=sum) -> CampaignPlan:
+    cells = [
+        CellTask(
+            experiment_id="values",
+            key=("cell", index),
+            fn=_identity,
+            kwargs={"value": float(index)},
+        )
+        for index in range(count)
+    ]
+    return CampaignPlan(experiment_id="values", cells=cells, merge=merge)
 
 
 def _crash_plan(fail_index: int) -> CampaignPlan:
@@ -127,10 +150,95 @@ class TestWorkerCrashSurfacing:
         assert "injected failure" in str(excinfo.value)
         assert excinfo.value.cell.key == ("cell", 2)
 
+    def test_cell_exception_surfaces_from_batched_submission(self):
+        runner = CampaignRunner(workers=2, batch_size=3)
+        with pytest.raises(CellExecutionError) as excinfo:
+            runner.run_plan(_crash_plan(fail_index=2))
+        assert excinfo.value.cell.key == ("cell", 2)
+
     def test_serial_path_raises_original_error(self):
         runner = CampaignRunner(workers=1)
         with pytest.raises(RuntimeError, match="injected failure"):
             runner.run_plan(_crash_plan(fail_index=0))
+
+    def test_killed_worker_surfaces_cell_identity(self):
+        cells = [
+            CellTask(
+                experiment_id="killed",
+                key=("cell", index),
+                fn=_die if index == 1 else _identity,
+                kwargs={"value": float(index)},
+            )
+            for index in range(3)
+        ]
+        plan = CampaignPlan(experiment_id="killed", cells=cells, merge=sum)
+        runner = CampaignRunner(workers=2)
+        with pytest.raises(CellExecutionError, match="worker process died"):
+            runner.run_plan(plan)
+
+    def test_cell_execution_error_survives_pickling(self):
+        import pickle
+
+        error = CellExecutionError(_value_plan(1).cells[0], "RuntimeError: nope")
+        clone = pickle.loads(pickle.dumps(error))
+        assert isinstance(clone, CellExecutionError)
+        assert clone.cell.key == ("cell", 0)
+        assert "nope" in str(clone)
+
+
+class TestCellBatching:
+    def test_batched_matches_serial(self):
+        plan_outputs = _value_plan(7, merge=list).run_serial()
+        runner = CampaignRunner(workers=2, batch_size=3)
+        assert runner.run_plan(_value_plan(7, merge=list)) == plan_outputs
+
+    def test_batch_size_larger_than_plan(self):
+        runner = CampaignRunner(workers=2, batch_size=100)
+        assert runner.run_plan(_value_plan(4)) == 6.0
+
+    def test_fig3a_batched_parallel_matches_serial(self, tiny_scale, policy_cache):
+        serial = CampaignRunner(gridworld_scale=tiny_scale, cache=policy_cache, workers=1)
+        batched = CampaignRunner(
+            gridworld_scale=tiny_scale, cache=policy_cache, workers=2, batch_size=4
+        )
+        assert _payload(serial.run("fig3a")) == _payload(batched.run("fig3a"))
+
+    def test_batch_size_floor(self):
+        assert CampaignRunner(batch_size=0).batch_size == 1
+
+
+class TestDefaultWorkerCount:
+    def test_prefers_process_cpu_count(self, monkeypatch):
+        from repro.runtime import runner as runner_module
+
+        monkeypatch.setattr(runner_module.os, "process_cpu_count", lambda: 3, raising=False)
+        assert runner_module.default_worker_count() == 3
+
+    def test_falls_back_to_affinity_mask(self, monkeypatch):
+        from repro.runtime import runner as runner_module
+
+        # Simulate a cgroup-limited container: 2 schedulable CPUs on a
+        # 64-CPU machine.  os.cpu_count() must not win.
+        monkeypatch.delattr(runner_module.os, "process_cpu_count", raising=False)
+        monkeypatch.setattr(runner_module.os, "sched_getaffinity", lambda pid: {0, 1}, raising=False)
+        monkeypatch.setattr(runner_module.os, "cpu_count", lambda: 64)
+        assert runner_module.default_worker_count() == 2
+
+    def test_last_resort_cpu_count_capped(self, monkeypatch):
+        from repro.runtime import runner as runner_module
+
+        monkeypatch.delattr(runner_module.os, "process_cpu_count", raising=False)
+        monkeypatch.delattr(runner_module.os, "sched_getaffinity", raising=False)
+        monkeypatch.setattr(runner_module.os, "cpu_count", lambda: 64)
+        assert runner_module.default_worker_count() == 8
+
+    def test_never_below_one(self, monkeypatch):
+        from repro.runtime import runner as runner_module
+
+        monkeypatch.delattr(runner_module.os, "process_cpu_count", raising=False)
+        monkeypatch.delattr(runner_module.os, "sched_getaffinity", raising=False)
+        monkeypatch.setattr(runner_module.os, "cpu_count", lambda: None)
+        assert runner_module.default_worker_count() == 1
 
 
 class TestSeedDerivation:

@@ -1,0 +1,229 @@
+"""Tests for streaming result journals and campaign resume.
+
+The central guarantee: a campaign killed partway through can be rerun with
+``resume=True`` and the merged payload is byte-identical to an uninterrupted
+run — whether the interruption was a raising cell, a killed worker, or a
+truncated journal line from a mid-write kill.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.core.config import GridWorldScale
+from repro.runtime.cells import CampaignPlan, CellTask
+from repro.runtime.journal import CampaignJournal, plan_fingerprint
+from repro.runtime.runner import CampaignRunner, CellExecutionError
+
+
+def _payload(result) -> str:
+    return json.dumps(result.as_dict(), sort_keys=True)
+
+
+def _double(value: float) -> float:
+    return value * 2.0
+
+
+def _flaky(value: float, sentinel: str) -> float:
+    if os.path.exists(sentinel):
+        raise RuntimeError("injected interruption")
+    return value * 2.0
+
+
+def _die_if(value: float, sentinel: str) -> float:
+    if os.path.exists(sentinel):
+        os._exit(1)
+    return value * 2.0
+
+
+def _plan(count: int = 6, fn=_double, extra=None) -> CampaignPlan:
+    cells = [
+        CellTask(
+            experiment_id="journaled",
+            key=("cell", index),
+            fn=fn,
+            kwargs={"value": float(index), **(extra or {})},
+        )
+        for index in range(count)
+    ]
+    return CampaignPlan(experiment_id="journaled", cells=cells, merge=list)
+
+
+class TestJournalFile:
+    def test_round_trip(self, tmp_path):
+        plan = _plan(3)
+        journal = CampaignJournal(tmp_path / "j.jsonl", plan)
+        journal.start({})
+        for index in range(3):
+            journal.record(index, plan.cells[index].run())
+        journal.close()
+        loaded = CampaignJournal(tmp_path / "j.jsonl", plan).load()
+        assert loaded == {0: 0.0, 1: 2.0, 2: 4.0}
+
+    def test_decoded_output_returned_by_record(self, tmp_path):
+        import numpy as np
+
+        journal = CampaignJournal(tmp_path / "j.jsonl", _plan(1))
+        journal.start({})
+        decoded = journal.record(0, (np.float64(1.5), np.int64(3)))
+        journal.close()
+        # numpy scalars and tuples normalize to JSON-native values.
+        assert decoded == [1.5, 3]
+        assert type(decoded[0]) is float and type(decoded[1]) is int
+
+    def test_missing_file_loads_empty(self, tmp_path):
+        assert CampaignJournal(tmp_path / "absent.jsonl", _plan()).load() == {}
+
+    def test_fingerprint_mismatch_invalidates(self, tmp_path):
+        plan = _plan(3)
+        journal = CampaignJournal(tmp_path / "j.jsonl", plan)
+        journal.start({})
+        journal.record(0, 0.0)
+        journal.close()
+        other = _plan(3, extra={"sentinel": "different-grid"}, fn=_flaky)
+        assert plan_fingerprint(other) != plan_fingerprint(plan)
+        assert CampaignJournal(tmp_path / "j.jsonl", other).load() == {}
+
+    def test_truncated_trailing_line_discarded(self, tmp_path):
+        plan = _plan(3)
+        journal = CampaignJournal(tmp_path / "j.jsonl", plan)
+        journal.start({})
+        journal.record(0, 0.0)
+        journal.record(1, 2.0)
+        journal.close()
+        path = tmp_path / "j.jsonl"
+        path.write_text(path.read_text() + '{"kind": "cell", "index": 2, "out')
+        assert CampaignJournal(path, plan).load() == {0: 0.0, 1: 2.0}
+
+    def test_record_requires_start(self, tmp_path):
+        journal = CampaignJournal(tmp_path / "j.jsonl", _plan(1))
+        with pytest.raises(RuntimeError, match="not open"):
+            journal.record(0, 1.0)
+
+    def test_resume_truncates_partial_tail(self, tmp_path):
+        """A resumed run must not append onto a partial trailing write.
+
+        Otherwise the first resumed record concatenates onto the garbage
+        tail, producing one permanently unparseable line that hides a
+        completed cell from every later resume.
+        """
+        plan = _plan(4)
+        path = tmp_path / "j.jsonl"
+        journal = CampaignJournal(path, plan)
+        journal.start({})
+        journal.record(0, 0.0)
+        journal.close()
+        with path.open("a", encoding="utf8") as handle:
+            handle.write('{"kind": "cell", "inde')  # kill -9 mid-write
+
+        second = CampaignJournal(path, plan)
+        completed = second.load()
+        assert completed == {0: 0.0}
+        second.start(completed)
+        second.record(1, 2.0)
+        second.close()
+        # Every record — pre-kill and post-resume — is loadable afterwards.
+        assert CampaignJournal(path, plan).load() == {0: 0.0, 1: 2.0}
+
+    def test_unterminated_final_line_not_trusted(self, tmp_path):
+        plan = _plan(2)
+        path = tmp_path / "j.jsonl"
+        journal = CampaignJournal(path, plan)
+        journal.start({})
+        journal.record(0, 0.0)
+        journal.close()
+        # A parseable but unterminated tail is still a partial write.
+        with path.open("a", encoding="utf8") as handle:
+            handle.write('{"kind": "cell", "index": 1, "key": ["cell", 1], "output": 2.0}')
+        assert CampaignJournal(path, plan).load() == {0: 0.0}
+
+
+class TestResume:
+    @pytest.mark.parametrize("workers,batch_size", [(1, 1), (2, 1), (2, 3)])
+    def test_resume_after_raising_cell_is_byte_consistent(self, tmp_path, workers, batch_size):
+        sentinel = tmp_path / "explode"
+        sentinel.touch()
+        plan = lambda: _plan(6, fn=_flaky, extra={"sentinel": str(sentinel)})  # noqa: E731
+        clean = _plan(6).run_serial()
+
+        runner = CampaignRunner(
+            workers=workers, batch_size=batch_size, journal_dir=tmp_path, resume=True
+        )
+        with pytest.raises((CellExecutionError, RuntimeError)):
+            runner.run_plan(plan(), journal=runner.journal_for(plan()))
+        # The journal survived the failure in a loadable state.
+        journal = runner.journal_for(plan())
+        completed = journal.load()
+        assert all(completed[i] == float(i) * 2.0 for i in completed)
+
+        sentinel.unlink()
+        resumed = runner.run_plan(plan(), journal=runner.journal_for(plan()))
+        assert resumed == clean
+
+    def test_resume_after_killed_worker_is_byte_consistent(self, tmp_path):
+        sentinel = tmp_path / "kill"
+        sentinel.touch()
+        plan = lambda: _plan(6, fn=_die_if, extra={"sentinel": str(sentinel)})  # noqa: E731
+        runner = CampaignRunner(workers=2, journal_dir=tmp_path, resume=True)
+        with pytest.raises(CellExecutionError, match="worker process died"):
+            runner.run_plan(plan(), journal=runner.journal_for(plan()))
+        sentinel.unlink()
+        resumed = runner.run_plan(plan(), journal=runner.journal_for(plan()))
+        assert resumed == _plan(6).run_serial()
+
+    def test_resume_skips_journaled_cells(self, tmp_path):
+        plan = _plan(6)
+        journal = CampaignJournal(tmp_path / "j.jsonl", plan)
+        journal.start({})
+        for index in (0, 1, 2):
+            journal.record(index, plan.cells[index].run())
+        journal.close()
+
+        runner = CampaignRunner(workers=1, resume=True)
+        result = runner.run_plan(_plan(6), journal=CampaignJournal(tmp_path / "j.jsonl", _plan(6)))
+        assert result == _plan(6).run_serial()
+        # Only the three missing cells were appended to the journal.
+        lines = (tmp_path / "j.jsonl").read_text().splitlines()
+        assert len(lines) == 1 + 6
+
+    def test_without_resume_journal_is_rewritten(self, tmp_path):
+        plan = _plan(4)
+        runner = CampaignRunner(workers=1, journal_dir=tmp_path, resume=False)
+        runner.run_plan(plan, journal=runner.journal_for(plan))
+        runner.run_plan(_plan(4), journal=runner.journal_for(_plan(4)))
+        lines = (tmp_path / "journaled.jsonl").read_text().splitlines()
+        assert len(lines) == 1 + 4  # fresh header, not an appended duplicate
+
+
+class TestArtifactResume:
+    def test_fig3a_interrupted_resume_byte_identical(self, policy_cache):
+        """Kill-after-N-cells on a real artifact: resume must reproduce the
+        uninterrupted payload byte for byte."""
+        scale = GridWorldScale.tiny()
+        uninterrupted = CampaignRunner(gridworld_scale=scale, cache=policy_cache, workers=1)
+        reference = _payload(uninterrupted.run("fig3a"))
+
+        import tempfile
+        from pathlib import Path
+
+        journal_dir = Path(tempfile.mkdtemp())
+        interrupted = CampaignRunner(
+            gridworld_scale=scale, cache=policy_cache, workers=1, journal_dir=journal_dir
+        )
+        plan = interrupted.plan("fig3a")
+        journal = interrupted.journal_for(plan)
+        journal.start({})
+        for index in range(4):  # ... then the campaign dies
+            journal.record(index, plan.cells[index].run())
+        journal.close()
+
+        resumer = CampaignRunner(
+            gridworld_scale=scale,
+            cache=policy_cache,
+            workers=2,
+            batch_size=2,
+            journal_dir=journal_dir,
+            resume=True,
+        )
+        assert _payload(resumer.run("fig3a")) == reference

@@ -1,0 +1,120 @@
+"""Tests for per-worker policy residency (PolicyRef + registry).
+
+The guarantee under test: decomposed plans no longer pickle pretrained state
+dicts into every cell — cells carry small ``(cache_dir, key)`` handles, the
+referenced policy is decoded once per process, and every resolution hands the
+cell a fresh copy so in-place mutation cannot leak between cells.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.runtime.residency import (
+    PolicyRef,
+    PolicyResidencyError,
+    clear_residency,
+    collect_policy_refs,
+    preload_policy_refs,
+    resident_policy_count,
+    resolve_policy_kwargs,
+    resolve_policy_ref,
+)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_registry():
+    clear_residency()
+    yield
+    clear_residency()
+
+
+@pytest.fixture()
+def drone_ref(policy_cache, tiny_drone_scale, tiny_drone_policy) -> PolicyRef:
+    # tiny_drone_policy guarantees the cache entry exists on disk.
+    return policy_cache.drone_policy_ref(tiny_drone_scale)
+
+
+class TestResolution:
+    def test_resolves_to_cached_state_dict(self, drone_ref, tiny_drone_policy):
+        state = resolve_policy_ref(drone_ref)
+        expected = tiny_drone_policy["policy"]
+        assert set(state) == set(expected)
+        for name in expected:
+            np.testing.assert_array_equal(state[name], expected[name])
+
+    def test_each_resolution_returns_a_fresh_copy(self, drone_ref):
+        first = resolve_policy_ref(drone_ref)
+        name = next(iter(first))
+        first[name] += 1.0  # a cell corrupting its policy in place...
+        second = resolve_policy_ref(drone_ref)
+        # ...must not leak into the next cell's copy.
+        assert not np.array_equal(first[name], second[name])
+
+    def test_decodes_once_per_process(self, drone_ref):
+        assert resident_policy_count() == 0
+        resolve_policy_ref(drone_ref)
+        resolve_policy_ref(drone_ref)
+        assert resident_policy_count() == 1
+
+    def test_missing_entry_raises_clear_error(self, tmp_path):
+        ref = PolicyRef(cache_dir=str(tmp_path), key="nope", field="policy")
+        with pytest.raises(PolicyResidencyError, match="nope.json"):
+            resolve_policy_ref(ref)
+
+    def test_missing_field_raises_clear_error(self, policy_cache, tiny_drone_scale, drone_ref):
+        ref = PolicyRef(cache_dir=drone_ref.cache_dir, key=drone_ref.key, field="wrong")
+        with pytest.raises(PolicyResidencyError, match="wrong"):
+            resolve_policy_ref(ref)
+
+    def test_preload_makes_refs_resident(self, drone_ref):
+        preload_policy_refs([drone_ref])
+        assert resident_policy_count() == 1
+
+    def test_resolve_kwargs_substitutes_only_refs(self, drone_ref):
+        kwargs = {"policy": drone_ref, "ber": 0.01, "label": "x"}
+        resolved = resolve_policy_kwargs(kwargs)
+        assert isinstance(resolved["policy"], dict)
+        assert resolved["ber"] == 0.01 and resolved["label"] == "x"
+        # Ref-free kwargs pass through without copying.
+        plain = {"ber": 0.01}
+        assert resolve_policy_kwargs(plain) is plain
+
+
+class TestPlanRefs:
+    def test_collect_policy_refs_unique_in_first_use_order(
+        self, policy_cache, tiny_drone_scale, tiny_drone_policy
+    ):
+        from repro.core.experiments.drone_training import drone_training_plan
+
+        plan = drone_training_plan("agent", scale=tiny_drone_scale, cache=policy_cache)
+        refs = collect_policy_refs(plan.cells)
+        assert len(refs) == 1
+        assert refs[0].field == "policy"
+
+    def test_cells_pickle_small(self, policy_cache, tiny_drone_scale, tiny_drone_policy):
+        """The acceptance criterion: no per-cell state-dict pickling.
+
+        A cell submission must be orders of magnitude smaller than the policy
+        it references; by-value shipping would put the whole state dict in
+        every pickle.
+        """
+        from repro.core.experiments.drone_training import drone_training_plan
+
+        plan = drone_training_plan("agent", scale=tiny_drone_scale, cache=policy_cache)
+        by_value_size = len(pickle.dumps(tiny_drone_policy["policy"]))
+        for cell in plan.cells:
+            cell_size = len(pickle.dumps(cell))
+            assert cell_size < 4096
+            assert cell_size < by_value_size / 5
+
+    def test_inference_mitigation_cells_pickle_small(
+        self, policy_cache, tiny_drone_scale, tiny_drone_policy
+    ):
+        from repro.core.experiments.mitigation_experiments import inference_mitigation_plan
+
+        plan = inference_mitigation_plan("drone", scale=tiny_drone_scale, cache=policy_cache)
+        by_value_size = len(pickle.dumps(tiny_drone_policy["policy"]))
+        for cell in plan.cells:
+            assert len(pickle.dumps(cell)) < by_value_size / 5
