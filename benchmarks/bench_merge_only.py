@@ -1,0 +1,49 @@
+"""Merge-only folding of shard journals — the multi-machine endgame.
+
+Runs fig6a as two ``--shard``-style invocations (the setup, not benchmarked)
+and measures the ``--merge-only`` pass that folds the shard journals back
+into the final payload.  The merge reads journals and accumulates in plan
+order — it executes no cells — so its cost is what a cluster pays *per
+machine-hour saved*: it should stay milliseconds-scale while the sharded
+execution it replaces takes the campaign's full wall clock.
+
+Byte-identity with the direct (unsharded) run is asserted, not just timed.
+"""
+
+import json
+
+from benchmarks._common import BENCH_CACHE, BENCH_DRONE_SCALE, run_plan, save_result
+from repro.core.experiments.drone_training import drone_count_plan
+from repro.runtime.runner import CampaignRunner
+
+
+def _plan():
+    return drone_count_plan(
+        scale=BENCH_DRONE_SCALE,
+        drone_counts=(2, 4),
+        ber_values=(0.0, 1e-2),
+        cache=BENCH_CACHE,
+    )
+
+
+def _payload(result) -> str:
+    return json.dumps(result.as_dict(), sort_keys=True)
+
+
+def test_fig6a_merge_only(benchmark, tmp_path, campaign_workers):
+    journal_dir = tmp_path / "journals"
+    for shard in ("1/2", "2/2"):
+        runner = CampaignRunner(
+            workers=campaign_workers, journal_dir=journal_dir, shard=shard
+        )
+        plan = _plan()
+        runner.run_plan(plan, journal=runner.journal_for(plan))
+
+    merger = CampaignRunner(journal_dir=journal_dir)
+    result = benchmark.pedantic(
+        merger.merge_shards, args=(_plan(),), rounds=3, iterations=1
+    )
+    save_result("fig6a_merge_only", result)
+    # The whole point of the wire format: merging shard journals reproduces
+    # the unsharded campaign payload byte for byte.
+    assert _payload(result) == _payload(run_plan(_plan()))

@@ -27,6 +27,10 @@ _LAZY_EXPORTS = {
     "default_worker_count": "repro.runtime.runner",
     "CampaignJournal": "repro.runtime.journal",
     "plan_fingerprint": "repro.runtime.journal",
+    "ShardMergeError": "repro.runtime.sharding",
+    "ShardRunReport": "repro.runtime.sharding",
+    "ShardSpec": "repro.runtime.sharding",
+    "load_shard_outputs": "repro.runtime.sharding",
 }
 
 __all__ = [

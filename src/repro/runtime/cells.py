@@ -90,6 +90,31 @@ def derive_cell_seeds(root_seed: Optional[int], count: int) -> List[int]:
     return [int(child.generate_state(1, dtype=np.uint64)[0]) for child in children]
 
 
+def shard_cell_indices(shard_index: int, shard_count: int, cell_count: int) -> List[int]:
+    """The cell indices assigned to shard ``shard_index`` of ``shard_count``.
+
+    The partition is strided (shard *k* of *n* owns indices ``k-1, k-1+n,
+    k-1+2n, ...``), so the expensive cells of a plan — which cluster by grid
+    row, e.g. high-BER rows — spread evenly across shards instead of landing
+    on one machine.  For every ``(shard_count, cell_count)`` the shards are
+    pairwise disjoint and their union is ``range(cell_count)`` (pinned by
+    ``tests/properties``), which is what lets ``--merge-only`` treat coverage
+    gaps as hard errors.
+
+    ``shard_index`` is 1-based, matching the CLI's ``--shard k/n`` spelling.
+    """
+    if shard_count < 1:
+        raise ValueError(f"shard count must be >= 1, got {shard_count}")
+    if not 1 <= shard_index <= shard_count:
+        raise ValueError(
+            f"shard index must be in 1..{shard_count}, got {shard_index} "
+            "(--shard k/n is 1-based)"
+        )
+    if cell_count < 0:
+        raise ValueError(f"cell count must be non-negative, got {cell_count}")
+    return list(range(shard_index - 1, cell_count, shard_count))
+
+
 def single_cell_plan(experiment_id: str, fn: Callable, kwargs: Dict) -> CampaignPlan:
     """Wrap a whole experiment function as a one-cell plan.
 

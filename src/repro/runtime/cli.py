@@ -8,6 +8,12 @@ Examples::
     repro-campaign fig5a --workers 4 --batch-cells 4 --output results/
     repro-campaign fig5a --workers 4 --output results/ --resume  # after a kill
 
+    # Multi-machine: each machine runs a disjoint shard into a shared store,
+    # then any machine merges — byte-identical to a single-machine run.
+    repro-campaign fig6a --shard 1/2 --journal-dir /shared/journals   # machine A
+    repro-campaign fig6a --shard 2/2 --journal-dir /shared/journals   # machine B
+    repro-campaign fig6a --merge-only --journal-dir /shared/journals --output results/
+
 Replicate seeds are derived with ``numpy.random.SeedSequence.spawn`` (see
 :func:`repro.runtime.cells.derive_cell_seeds`), so adding replicates never
 perturbs existing ones.
@@ -21,6 +27,7 @@ byte-identical to an uninterrupted run.
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 import time
 from pathlib import Path
@@ -31,6 +38,7 @@ from repro.core.pretrained import PolicyCache
 from repro.runtime.cells import derive_cell_seeds
 from repro.runtime.plans import decomposed_experiment_ids, plannable_experiment_ids
 from repro.runtime.runner import CampaignRunner, default_worker_count
+from repro.runtime.sharding import ShardRunReport, ShardSpec
 from repro.utils.serialization import save_json
 
 _SCALE_PRESETS = {
@@ -99,6 +107,21 @@ def build_parser() -> argparse.ArgumentParser:
         "(interrupted) run of the same campaign",
     )
     parser.add_argument(
+        "--shard",
+        metavar="K/N",
+        default=None,
+        help="run only shard K of an N-way strided partition of each "
+        "artifact's cells, journaling to <label>.shard-K-of-N.jsonl; shard "
+        "runs never merge (use --merge-only once every shard has run)",
+    )
+    parser.add_argument(
+        "--merge-only",
+        action="store_true",
+        help="merge previously journaled shard runs into the final payload "
+        "without executing any cell; fails loudly if any shard or cell is "
+        "missing or any journal does not match the plan",
+    )
+    parser.add_argument(
         "--cache-dir",
         type=Path,
         default=None,
@@ -119,6 +142,11 @@ def _save(output_dir: Path, name: str, result) -> None:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    # Journal-invalidation warnings (stale fingerprints, shard mismatches)
+    # come through the logging module; make them visible on stderr.
+    logging.basicConfig(
+        level=logging.WARNING, format="[repro-campaign] %(levelname)s: %(message)s"
+    )
 
     if args.list:
         decomposed = set(decomposed_experiment_ids())
@@ -129,15 +157,41 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if not args.experiments:
         parser.error("no experiments given (or use --list)")
+    if args.workers < 0:
+        parser.error("--workers must be >= 0 (0 picks a machine-sized default)")
     if args.replicates < 1:
         parser.error("--replicates must be >= 1")
     if args.batch_cells < 1:
         parser.error("--batch-cells must be >= 1")
+    shard = None
+    if args.shard is not None:
+        if args.merge_only:
+            parser.error(
+                "--shard and --merge-only are mutually exclusive: shards run cells, "
+                "merge-only folds finished shard journals together"
+            )
+        try:
+            shard = ShardSpec.parse(args.shard)
+        except ValueError as error:
+            parser.error(f"invalid --shard: {error}")
     journal_dir = args.journal_dir
     if journal_dir is None and args.output is not None:
         journal_dir = args.output / "journals"
     if args.resume and journal_dir is None:
         parser.error("--resume needs a journal (give --journal-dir or --output)")
+    if (shard is not None or args.merge_only) and journal_dir is None:
+        parser.error(
+            "--shard/--merge-only need the shared journal store "
+            "(give --journal-dir or --output)"
+        )
+    if (shard is not None or args.merge_only) and args.replicates > 1 and args.seed is None:
+        # Replicate seeds derive from OS entropy when no root seed is given,
+        # so every machine (and the merging run) would build a different plan
+        # and the shard journals could never fingerprint-match.
+        parser.error(
+            "--shard/--merge-only with --replicates > 1 needs an explicit --seed "
+            "so every machine derives the same replicate plans"
+        )
 
     gridworld_factory, drone_factory = _SCALE_PRESETS[args.scale]
     workers = args.workers if args.workers != 0 else default_worker_count()
@@ -172,6 +226,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             batch_size=args.batch_cells,
             journal_dir=journal_dir,
             resume=args.resume,
+            shard=shard,
         )
         suffix = f"@r{replicate}" if args.replicates > 1 else ""
         if args.replicates > 1:
@@ -185,16 +240,42 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 # Plan building can fail too (corrupt cache entries, baseline
                 # training errors), so it sits inside the per-artifact guard.
                 plan = runner.plan(experiment_id)
-                # Journals are per label, so each replicate resumes its own.
-                journal = runner.journal_for(plan, name=label)
-                journaled = len(journal.load()) if journal is not None and args.resume else 0
-                progress = f"{plan.cell_count} cells on {workers} worker(s)"
-                if args.batch_cells > 1:
-                    progress += f", batches of {args.batch_cells}"
-                if journaled:
-                    progress += f", {journaled} already journaled"
-                print(f"[repro-campaign] {label}: {progress}...", flush=True)
-                result = runner.run_plan(plan, journal=journal)
+                if (shard is not None or args.merge_only) and plan.cell_count <= 1:
+                    # Single-cell plans (fig3e, fig9) have no journal and
+                    # nothing to partition; skip them so `all --shard k/n`
+                    # stays usable, instead of failing every machine.
+                    print(
+                        f"[repro-campaign] {label}: SKIPPED — single-cell plans "
+                        "cannot be sharded or shard-merged; run this artifact "
+                        "without --shard/--merge-only",
+                        flush=True,
+                    )
+                    continue
+                if args.merge_only:
+                    print(
+                        f"[repro-campaign] {label}: merging shard journals "
+                        f"({plan.cell_count} cells, no execution)...",
+                        flush=True,
+                    )
+                    result = runner.merge_shards(plan, name=label)
+                else:
+                    # Journals are per label, so each replicate resumes its own.
+                    journal = runner.journal_for(plan, name=label)
+                    journaled = len(journal.load()) if journal is not None and args.resume else 0
+                    if shard is not None:
+                        assigned = len(shard.cell_indices(plan.cell_count))
+                        progress = (
+                            f"shard {shard.describe()}: {assigned}/{plan.cell_count} "
+                            f"cells on {workers} worker(s)"
+                        )
+                    else:
+                        progress = f"{plan.cell_count} cells on {workers} worker(s)"
+                    if args.batch_cells > 1:
+                        progress += f", batches of {args.batch_cells}"
+                    if journaled:
+                        progress += f", {journaled} already journaled"
+                    print(f"[repro-campaign] {label}: {progress}...", flush=True)
+                    result = runner.run_plan(plan, journal=journal)
             except KeyboardInterrupt:
                 raise
             except Exception as error:
@@ -202,8 +283,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 print(f"[repro-campaign] {label}: FAILED — {error}", file=sys.stderr, flush=True)
                 exit_code = 1
                 continue
-            runner.results[experiment_id] = result
             elapsed = time.perf_counter() - start
+            if isinstance(result, ShardRunReport):
+                # A shard run has no merged payload to store or save — its
+                # deliverable is the shard journal.
+                print(f"[repro-campaign] {label}: {result.render()}", flush=True)
+                print(f"[repro-campaign] {label}: done in {elapsed:.1f}s", flush=True)
+                continue
+            runner.results[experiment_id] = result
             print(f"[repro-campaign] {label}: done in {elapsed:.1f}s", flush=True)
             if args.output is not None:
                 _save(args.output, label, result)

@@ -55,6 +55,18 @@ class PolicyRef:
     def describe(self) -> str:
         return f"{self.key}.json[{self.field}]"
 
+    def fingerprint_token(self) -> str:
+        """Machine-independent digest token for plan fingerprints.
+
+        Identifies the cache *entry* — ``(key, field)`` — and deliberately
+        excludes ``cache_dir``: the cache key already encodes everything that
+        determines the policy's content (training scale, seed, datatype), so
+        where the cache happens to live on one machine must not invalidate a
+        journal resumed or merged on another (see
+        :func:`repro.runtime.journal.plan_fingerprint`).
+        """
+        return f"PolicyRef(key={self.key!r}, field={self.field!r})"
+
 
 class PolicyResidencyError(RuntimeError):
     """A :class:`PolicyRef` could not be resolved against the cache."""

@@ -19,6 +19,11 @@ Three scaling features layer on top of the basic fan-out:
   are appended to a per-artifact JSONL file as they arrive, and a run with
   ``resume=True`` skips already-journaled cells, producing a byte-identical
   merged payload after an interruption.
+* **Multi-machine sharding** (``shard="k/n"`` + :meth:`CampaignRunner.merge_shards`)
+  — each machine runs a disjoint strided subset of cell indices into its own
+  shard journal; once every shard journal has landed in the shared
+  ``journal_dir``, any machine merges them into the byte-identical unsharded
+  payload without executing a cell (see :mod:`repro.runtime.sharding`).
 
 Worker failures are surfaced as :class:`CellExecutionError` naming the failed
 cell; a worker process dying outright (segfault, OOM kill) raises the same
@@ -40,6 +45,7 @@ from repro.runtime.cells import CampaignPlan, CellTask
 from repro.runtime.journal import CampaignJournal
 from repro.runtime.plans import CampaignContext, build_plan, plannable_experiment_ids
 from repro.runtime.residency import PolicyRef, collect_policy_refs, preload_policy_refs
+from repro.runtime.sharding import ShardRunReport, ShardSpec, load_shard_outputs
 
 
 class CampaignError(RuntimeError):
@@ -107,6 +113,13 @@ class CampaignRunner:
     ``journal_dir`` enables streaming result persistence (one
     ``<experiment_id>.jsonl`` per artifact); with ``resume=True``,
     already-journaled cells of a matching plan are skipped.
+
+    ``shard="k/n"`` (or a :class:`~repro.runtime.sharding.ShardSpec`) runs
+    only the cells the strided partition assigns to shard *k* of *n*,
+    journaling them to ``<label>.shard-k-of-n.jsonl``; the run returns a
+    :class:`~repro.runtime.sharding.ShardRunReport` and never merges.
+    :meth:`merge_shards` is the other half: it folds a complete set of shard
+    journals into the merged result without executing a cell.
     """
 
     def __init__(
@@ -119,6 +132,7 @@ class CampaignRunner:
         batch_size: int = 1,
         journal_dir: Optional[Path] = None,
         resume: bool = False,
+        shard: Optional[object] = None,
     ) -> None:
         self.context = CampaignContext.create(gridworld_scale, drone_scale, cache)
         self.workers = max(1, int(workers)) if workers is not None else 1
@@ -126,6 +140,9 @@ class CampaignRunner:
         self.batch_size = max(1, int(batch_size))
         self.journal_dir = Path(journal_dir) if journal_dir is not None else None
         self.resume = resume
+        if shard is not None and not isinstance(shard, ShardSpec):
+            shard = ShardSpec.parse(shard)
+        self.shard: Optional[ShardSpec] = shard
         self.results: Dict[str, object] = {}
 
     # ------------------------------------------------------------------- plans
@@ -144,12 +161,21 @@ class CampaignRunner:
         Single-cell plans are not journaled: their only cell either completed
         (the run finished) or did not, so there is nothing to resume — and
         fallback cells return result objects rather than JSON-native values.
+
+        With a ``shard`` configured the journal is the shard journal
+        (``<label>.shard-k-of-n.jsonl``) and its header records the shard
+        coordinates, so whole-plan and shard journals can never be confused.
         """
         if self.journal_dir is None or plan.cell_count <= 1:
             return None
-        return CampaignJournal(
-            self.journal_dir / f"{name or plan.experiment_id}.jsonl", plan
-        )
+        label = name or plan.experiment_id
+        if self.shard is not None:
+            return CampaignJournal(
+                self.shard.journal_path(self.journal_dir, label),
+                plan,
+                shard=(self.shard.index, self.shard.count),
+            )
+        return CampaignJournal(self.journal_dir / f"{label}.jsonl", plan)
 
     # --------------------------------------------------------------- execution
     def run(self, experiment_id: str):
@@ -174,7 +200,14 @@ class CampaignRunner:
         arrive, and ``resume=True`` skips cells the journal already holds;
         merge inputs then come from their JSON-decoded form in both the
         journaled and the resumed run, keeping the payloads byte-identical.
+
+        With a configured ``shard`` only that shard's cells run (journaled to
+        the shard journal) and the return value is a
+        :class:`~repro.runtime.sharding.ShardRunReport` — sharded runs refuse
+        to merge, because no single shard holds every cell output.
         """
+        if self.shard is not None:
+            return self._run_shard(plan, journal)
         if journal is None:
             if self.workers <= 1 or plan.cell_count == 0:
                 return plan.run_serial()
@@ -193,6 +226,53 @@ class CampaignRunner:
     @staticmethod
     def _pending(plan: CampaignPlan, completed: Dict[int, object]) -> List[int]:
         return [index for index in range(plan.cell_count) if index not in completed]
+
+    # ---------------------------------------------------------------- sharding
+    def _run_shard(self, plan: CampaignPlan, journal: Optional[CampaignJournal]):
+        """Run only this runner's shard of ``plan``, journaling every cell."""
+        if journal is None:
+            raise CampaignError(
+                f"sharded execution of {plan.experiment_id!r} requires a streaming "
+                "journal: configure journal_dir (CLI: --journal-dir or --output), and "
+                "note that single-cell plans cannot be sharded — run them unsharded"
+            )
+        assigned = self.shard.cell_indices(plan.cell_count)
+        completed = journal.load() if self.resume else {}
+        journal.start(completed)
+        pending = [index for index in assigned if index not in completed]
+        try:
+            self._execute(plan.cells, pending, journal)
+        finally:
+            journal.close()
+        return ShardRunReport(
+            experiment_id=plan.experiment_id,
+            shard=self.shard,
+            cell_count=plan.cell_count,
+            assigned=len(assigned),
+            executed=len(pending),
+            resumed=len(assigned) - len(pending),
+            journal_path=journal.path,
+        )
+
+    def merge_shards(self, plan: CampaignPlan, name: Optional[str] = None):
+        """Merge a complete set of shard journals — never executing a cell.
+
+        Validates every ``<label>.shard-k-of-n.jsonl`` under ``journal_dir``
+        against the plan's machine-independent fingerprint, verifies the
+        journaled indices cover the whole plan (raising
+        :class:`~repro.runtime.sharding.ShardMergeError` naming the missing
+        cells and shards otherwise), and merges in plan order.  Outputs are
+        consumed in their JSON-decoded form — exactly as a journaled
+        single-machine run consumes them — so the merged payload is
+        byte-identical to an unsharded run.
+        """
+        if self.journal_dir is None:
+            raise CampaignError(
+                "merge_shards requires journal_dir — the directory holding the "
+                "shard journals (CLI: --journal-dir or --output)"
+            )
+        outputs_by_index = load_shard_outputs(plan, self.journal_dir, name)
+        return plan.merge([outputs_by_index[index] for index in range(plan.cell_count)])
 
     def _execute(
         self,
@@ -281,5 +361,7 @@ __all__ = [
     "CampaignRunner",
     "CellExecutionError",
     "PolicyRef",
+    "ShardRunReport",
+    "ShardSpec",
     "default_worker_count",
 ]

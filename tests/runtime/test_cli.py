@@ -1,0 +1,106 @@
+"""Argument validation tests for the ``repro-campaign`` CLI.
+
+These exercise the parser layer only — campaign execution is covered by
+``test_campaign_runner.py``/``test_sharding.py`` and the CI jobs.
+"""
+
+import pytest
+
+from repro.runtime.cli import main
+
+
+def _error_text(capsys) -> str:
+    return capsys.readouterr().err
+
+
+class TestWorkerValidation:
+    @pytest.mark.parametrize("workers", ["-1", "-3"])
+    def test_negative_workers_rejected(self, capsys, workers):
+        """Regression: CampaignRunner silently clamps negative workers to 1;
+        the CLI must reject them like it rejects bad --replicates."""
+        with pytest.raises(SystemExit) as excinfo:
+            main(["fig3a", "--workers", workers])
+        assert excinfo.value.code == 2
+        assert "--workers must be >= 0" in _error_text(capsys)
+
+    def test_zero_workers_means_machine_default(self, capsys):
+        # 0 is valid (machine-sized pool); prove it passes the parser by
+        # failing later, on the unknown-experiment check instead.
+        with pytest.raises(SystemExit):
+            main(["not-an-artifact", "--workers", "0"])
+        assert "unknown experiments" in _error_text(capsys)
+
+
+class TestShardValidation:
+    @pytest.mark.parametrize("spec", ["0/2", "3/2", "a/b", "1-2", "1/0", ""])
+    def test_malformed_shard_rejected(self, capsys, spec, tmp_path):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["fig6a", "--shard", spec, "--journal-dir", str(tmp_path)])
+        assert excinfo.value.code == 2
+        assert "invalid --shard" in _error_text(capsys)
+
+    def test_shard_requires_journal_store(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["fig6a", "--shard", "1/2"])
+        assert "journal store" in _error_text(capsys)
+
+    def test_merge_only_requires_journal_store(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["fig6a", "--merge-only"])
+        assert "journal store" in _error_text(capsys)
+
+    def test_shard_and_merge_only_mutually_exclusive(self, capsys, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["fig6a", "--shard", "1/2", "--merge-only", "--journal-dir", str(tmp_path)])
+        assert "mutually exclusive" in _error_text(capsys)
+
+    def test_sharded_replicates_need_explicit_seed(self, capsys, tmp_path):
+        """Unseeded replicates derive from OS entropy, so each machine would
+        build a different plan and shard journals could never merge."""
+        with pytest.raises(SystemExit):
+            main(
+                ["fig6a", "--shard", "1/2", "--replicates", "2",
+                 "--journal-dir", str(tmp_path)]
+            )
+        assert "--seed" in _error_text(capsys)
+
+    def test_sharded_replicates_allowed_with_seed(self, capsys, tmp_path):
+        # With an explicit seed the combination is valid; it passes the
+        # parser and fails later only on the unknown-experiment check.
+        with pytest.raises(SystemExit):
+            main(
+                ["nope", "--shard", "1/2", "--replicates", "2", "--seed", "7",
+                 "--journal-dir", str(tmp_path)]
+            )
+        assert "unknown experiments" in _error_text(capsys)
+
+
+class TestExistingValidation:
+    def test_resume_requires_journal(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["fig3a", "--resume"])
+        assert "--resume needs a journal" in _error_text(capsys)
+
+    def test_replicates_floor(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["fig3a", "--replicates", "0"])
+        assert "--replicates" in _error_text(capsys)
+
+    def test_merge_only_without_shard_journals_fails_per_artifact(self, capsys, tmp_path):
+        """--merge-only with an empty journal store fails the artifact (exit 1)
+        with the ShardMergeError surfaced, rather than silently running cells."""
+        exit_code = main(["fig3a", "--merge-only", "--journal-dir", str(tmp_path)])
+        assert exit_code == 1
+        assert "no shard journals" in _error_text(capsys)
+
+    def test_single_cell_plans_skipped_under_shard(self, capsys, tmp_path):
+        """`all --shard k/n` must stay usable: single-cell artifacts are
+        skipped with a notice, not failed on every machine (exit 0)."""
+        exit_code = main(["fig9", "--shard", "1/2", "--journal-dir", str(tmp_path)])
+        assert exit_code == 0
+        assert "SKIPPED" in capsys.readouterr().out
+
+    def test_single_cell_plans_skipped_under_merge_only(self, capsys, tmp_path):
+        exit_code = main(["fig9", "--merge-only", "--journal-dir", str(tmp_path)])
+        assert exit_code == 0
+        assert "SKIPPED" in capsys.readouterr().out

@@ -7,13 +7,15 @@ truncated journal line from a mid-write kill.
 """
 
 import json
+import logging
 import os
 
 import pytest
 
 from repro.core.config import GridWorldScale
 from repro.runtime.cells import CampaignPlan, CellTask
-from repro.runtime.journal import CampaignJournal, plan_fingerprint
+from repro.runtime.journal import FINGERPRINT_VERSION, CampaignJournal, plan_fingerprint
+from repro.runtime.residency import PolicyRef
 from repro.runtime.runner import CampaignRunner, CellExecutionError
 
 
@@ -84,6 +86,181 @@ class TestJournalFile:
         other = _plan(3, extra={"sentinel": "different-grid"}, fn=_flaky)
         assert plan_fingerprint(other) != plan_fingerprint(plan)
         assert CampaignJournal(tmp_path / "j.jsonl", other).load() == {}
+
+    def test_fingerprint_mismatch_is_reported_not_silent(self, tmp_path, caplog):
+        """An existing-but-rejected journal must name the file and the reason."""
+        plan = _plan(3)
+        journal = CampaignJournal(tmp_path / "j.jsonl", plan)
+        journal.start({})
+        journal.record(0, 0.0)
+        journal.close()
+        other = _plan(3, extra={"sentinel": "different-grid"}, fn=_flaky)
+        reader = CampaignJournal(tmp_path / "j.jsonl", other)
+        with caplog.at_level(logging.WARNING, logger="repro.runtime.journal"):
+            assert reader.load() == {}
+        assert reader.invalid_reason is not None
+        assert "fingerprint mismatch" in reader.invalid_reason
+        assert str(tmp_path / "j.jsonl") in caplog.text
+        assert "recomputed" in caplog.text
+
+    def test_missing_file_sets_no_invalid_reason(self, tmp_path):
+        journal = CampaignJournal(tmp_path / "absent.jsonl", _plan())
+        assert journal.load() == {}
+        assert journal.invalid_reason is None
+
+    def test_accepted_journal_sets_no_invalid_reason(self, tmp_path):
+        plan = _plan(2)
+        journal = CampaignJournal(tmp_path / "j.jsonl", plan)
+        journal.start({})
+        journal.record(0, 0.0)
+        journal.close()
+        reader = CampaignJournal(tmp_path / "j.jsonl", _plan(2))
+        assert reader.load() == {0: 0.0}
+        assert reader.invalid_reason is None
+
+    def test_unversioned_v1_journal_reported_as_stale(self, tmp_path, caplog):
+        """A PR 2 journal (no fingerprint_version field) must be detected and
+        reported as written under the old, machine-dependent scheme."""
+        plan = _plan(2)
+        path = tmp_path / "j.jsonl"
+        journal = CampaignJournal(path, plan)
+        journal.start({})
+        journal.record(0, 0.0)
+        journal.close()
+        lines = path.read_text().splitlines()
+        header = json.loads(lines[0])
+        del header["fingerprint_version"]
+        path.write_text("\n".join([json.dumps(header), *lines[1:]]) + "\n")
+
+        reader = CampaignJournal(path, plan)
+        with caplog.at_level(logging.WARNING, logger="repro.runtime.journal"):
+            assert reader.load() == {}
+        assert "version-1" in reader.invalid_reason
+        assert str(FINGERPRINT_VERSION) in reader.invalid_reason
+
+    def test_future_fingerprint_version_reported(self, tmp_path):
+        plan = _plan(2)
+        path = tmp_path / "j.jsonl"
+        journal = CampaignJournal(path, plan)
+        journal.start({})
+        journal.close()
+        lines = path.read_text().splitlines()
+        header = json.loads(lines[0])
+        header["fingerprint_version"] = FINGERPRINT_VERSION + 1
+        path.write_text(json.dumps(header) + "\n")
+        reader = CampaignJournal(path, plan)
+        assert reader.load() == {}
+        assert f"fingerprint version {FINGERPRINT_VERSION + 1}" in reader.invalid_reason
+
+    def test_shard_journal_rejected_by_whole_plan_reader(self, tmp_path):
+        plan = _plan(4)
+        path = tmp_path / "j.jsonl"
+        shard_journal = CampaignJournal(path, plan, shard=(1, 2))
+        shard_journal.start({})
+        shard_journal.record(0, 0.0)
+        shard_journal.close()
+        whole = CampaignJournal(path, _plan(4))
+        assert whole.load() == {}
+        assert "shard 1/2" in whole.invalid_reason
+        # ... and the shard-coordinate reader accepts it.
+        again = CampaignJournal(path, _plan(4), shard=(1, 2))
+        assert again.load() == {0: 0.0}
+
+
+class TestPortableFingerprints:
+    """Journals must survive a policy-cache move or a machine change: the
+    fingerprint digests PolicyRef as (key, field), never its cache_dir."""
+
+    @staticmethod
+    def _ref_plan(cache_dir: str, ref_key: str = "drone-tiny") -> CampaignPlan:
+        cells = [
+            CellTask(
+                experiment_id="portable",
+                key=("cell", index),
+                fn=_double,
+                kwargs={
+                    "value": float(index),
+                    "pretrained": PolicyRef(cache_dir=cache_dir, key=ref_key, field="policy"),
+                },
+            )
+            for index in range(3)
+        ]
+        return CampaignPlan(experiment_id="portable", cells=cells, merge=list)
+
+    def test_cache_dir_excluded_from_fingerprint(self):
+        plan_a = self._ref_plan("/machine-a/cache")
+        plan_b = self._ref_plan("/machine-b/elsewhere")
+        assert plan_fingerprint(plan_a) == plan_fingerprint(plan_b)
+
+    def test_ref_key_still_fingerprint_relevant(self):
+        # Only the machine-local location is excluded; the cache *entry*
+        # (which encodes scale/seed/datatype) still invalidates.
+        assert plan_fingerprint(self._ref_plan("/cache", "drone-tiny")) != plan_fingerprint(
+            self._ref_plan("/cache", "drone-paper")
+        )
+
+    def test_journal_written_under_other_cache_dir_is_accepted(self, tmp_path):
+        """The PR 3 bug: a journal written on machine A was silently
+        invalidated on machine B because the absolute cache path leaked into
+        the digest via repr()."""
+        writer_plan = self._ref_plan(str(tmp_path / "cache-a"))
+        path = tmp_path / "j.jsonl"
+        journal = CampaignJournal(path, writer_plan)
+        journal.start({})
+        journal.record(0, 0.0)
+        journal.record(1, 2.0)
+        journal.close()
+
+        reader_plan = self._ref_plan(str(tmp_path / "cache-b"))
+        reader = CampaignJournal(path, reader_plan)
+        assert reader.load() == {0: 0.0, 1: 2.0}
+        assert reader.invalid_reason is None
+
+
+class TestKeyNormalization:
+    def test_nested_tuple_key_survives_round_trip(self, tmp_path):
+        """Regression: load() used to compare against list(cell.key), which
+        converts only the outer tuple — a nested tuple inside a key could
+        never match its JSON round-tripped form, so those cells were silently
+        recomputed on every resume."""
+        cells = [
+            CellTask(
+                experiment_id="nested",
+                key=("cell", index, ("coords", index, index + 1)),
+                fn=_double,
+                kwargs={"value": float(index)},
+            )
+            for index in range(3)
+        ]
+        plan = CampaignPlan(experiment_id="nested", cells=cells, merge=list)
+        path = tmp_path / "j.jsonl"
+        journal = CampaignJournal(path, plan)
+        journal.start({})
+        for index in range(3):
+            journal.record(index, plan.cells[index].run())
+        journal.close()
+        assert CampaignJournal(path, plan).load() == {0: 0.0, 1: 2.0, 2: 4.0}
+
+    def test_nested_key_resume_skips_journaled_cells(self, tmp_path):
+        cells = [
+            CellTask("nested", ("cell", (index,)), _double, {"value": float(index)})
+            for index in range(4)
+        ]
+
+        def plan():
+            return CampaignPlan("nested", list(cells), merge=list)
+
+        journal = CampaignJournal(tmp_path / "j.jsonl", plan())
+        journal.start({})
+        journal.record(0, 0.0)
+        journal.record(1, 2.0)
+        journal.close()
+        runner = CampaignRunner(workers=1, resume=True)
+        result = runner.run_plan(plan(), journal=CampaignJournal(tmp_path / "j.jsonl", plan()))
+        assert result == [0.0, 2.0, 4.0, 6.0]
+        # The two journaled cells were not re-recorded.
+        lines = (tmp_path / "j.jsonl").read_text().splitlines()
+        assert len(lines) == 1 + 4
 
     def test_truncated_trailing_line_discarded(self, tmp_path):
         plan = _plan(3)
