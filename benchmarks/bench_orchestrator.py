@@ -1,0 +1,89 @@
+"""Orchestration overhead — what the shard driver costs on top of the work.
+
+Runs the fig6a bench plan through ``ShardOrchestrator`` (two shard
+subprocesses, journal tailing, merge) and compares against the direct
+in-process campaign.  The orchestrator's tax is subprocess startup
+(interpreter + numpy import per shard) plus journal polling; it is paid once
+per shard, not per cell, so it amortizes to noise at paper scale — this
+benchmark makes the floor visible at bench scale, where the tax is the
+*worst* relative to the work.
+
+Byte-identity between the orchestrated and the direct payload is asserted,
+not just timed — the same contract CI's ``orchestrate-identity`` job pins
+for the CLI.  The shard subprocesses rebuild the bench plan from this module
+(the plan fingerprint digests cell keys and kwargs, not functions, so the
+parent's and the workers' plans journal-match by construction).
+"""
+
+import json
+import shutil
+import sys
+from pathlib import Path
+
+from benchmarks._common import BENCH_CACHE, BENCH_DRONE_SCALE, run_plan, save_result
+from repro.core.experiments.drone_training import drone_count_plan
+from repro.runtime.orchestrator import ShardOrchestrator
+from repro.runtime.runner import CampaignRunner
+
+_REPO_ROOT = Path(__file__).resolve().parents[1]
+
+_WORKER_SCRIPT = f"""\
+import sys
+
+sys.path.insert(0, {str(_REPO_ROOT / "src")!r})
+sys.path.insert(0, {str(_REPO_ROOT)!r})
+
+from benchmarks.bench_orchestrator import _plan
+from repro.runtime.runner import CampaignRunner
+
+shard, journal_dir = sys.argv[1], sys.argv[2]
+resume = "--resume" in sys.argv[3:]
+runner = CampaignRunner(journal_dir=journal_dir, shard=shard, resume=resume)
+plan = _plan()
+runner.run_plan(plan, journal=runner.journal_for(plan))
+"""
+
+
+def _plan():
+    return drone_count_plan(
+        scale=BENCH_DRONE_SCALE,
+        drone_counts=(2,),
+        ber_values=(0.0, 1e-2),
+        cache=BENCH_CACHE,
+    )
+
+
+def _payload(result) -> str:
+    return json.dumps(result.as_dict(), sort_keys=True)
+
+
+def test_fig6a_orchestrated(benchmark, tmp_path):
+    journal_dir = tmp_path / "journals"
+    script = tmp_path / "bench_shard_worker.py"
+    script.write_text(_WORKER_SCRIPT, encoding="utf8")
+    reference = run_plan(_plan())  # also warms the policy cache for the shards
+
+    def factory(spec, attempt_number, resume):
+        command = [sys.executable, str(script), spec.describe(), str(journal_dir)]
+        if resume:
+            command.append("--resume")
+        return command
+
+    def orchestrate():
+        # A fresh store per round: each round pays the full launch-watch-merge
+        # cycle, never a resume of the previous round's journals.
+        shutil.rmtree(journal_dir, ignore_errors=True)
+        orchestrator = ShardOrchestrator(
+            "fig6a",
+            2,
+            CampaignRunner(journal_dir=journal_dir),
+            plan=_plan(),
+            poll_interval=0.1,
+            command_factory=factory,
+        )
+        return orchestrator.run()
+
+    report = benchmark.pedantic(orchestrate, rounds=2, iterations=1)
+    save_result("fig6a_orchestrated", report.result)
+    assert report.merged
+    assert _payload(report.result) == _payload(reference)

@@ -26,7 +26,14 @@ _LAZY_EXPORTS = {
     "CellExecutionError": "repro.runtime.runner",
     "default_worker_count": "repro.runtime.runner",
     "CampaignJournal": "repro.runtime.journal",
+    "JournalProgress": "repro.runtime.journal",
+    "count_completed_cells": "repro.runtime.journal",
     "plan_fingerprint": "repro.runtime.journal",
+    "OrchestratorError": "repro.runtime.orchestrator",
+    "OrchestratorReport": "repro.runtime.orchestrator",
+    "ShardOrchestrator": "repro.runtime.orchestrator",
+    "render_k8s_manifest": "repro.runtime.orchestrator",
+    "render_slurm_script": "repro.runtime.orchestrator",
     "ShardMergeError": "repro.runtime.sharding",
     "ShardRunReport": "repro.runtime.sharding",
     "ShardSpec": "repro.runtime.sharding",

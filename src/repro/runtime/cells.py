@@ -44,9 +44,11 @@ class CellTask:
     kwargs: Dict = field(default_factory=dict)
 
     def run(self):
+        """Execute the cell: resolve any :class:`PolicyRef` kwargs, call ``fn``."""
         return self.fn(**resolve_policy_kwargs(self.kwargs))
 
     def describe(self) -> str:
+        """Human-readable cell identifier for progress and error messages."""
         return f"{self.experiment_id}{list(self.key)}"
 
 
@@ -69,6 +71,7 @@ class CampaignPlan:
 
     @property
     def cell_count(self) -> int:
+        """Number of independent cells in the plan."""
         return len(self.cells)
 
     def run_serial(self):

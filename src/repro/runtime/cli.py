@@ -8,8 +8,13 @@ Examples::
     repro-campaign fig5a --workers 4 --batch-cells 4 --output results/
     repro-campaign fig5a --workers 4 --output results/ --resume  # after a kill
 
-    # Multi-machine: each machine runs a disjoint shard into a shared store,
-    # then any machine merges — byte-identical to a single-machine run.
+    # Sharded multi-machine campaign, driven end to end (launch, watch,
+    # retry failed shards with --resume, merge) by the orchestrator:
+    repro-campaign orchestrate fig6a --shards 4 --workers-per-shard 2 --output results/
+
+    # Under the hood (or by a real scheduler): each machine runs a disjoint
+    # shard into a shared store, then any machine merges — byte-identical to
+    # a single-machine run.
     repro-campaign fig6a --shard 1/2 --journal-dir /shared/journals   # machine A
     repro-campaign fig6a --shard 2/2 --journal-dir /shared/journals   # machine B
     repro-campaign fig6a --merge-only --journal-dir /shared/journals --output results/
@@ -48,15 +53,44 @@ _SCALE_PRESETS = {
 }
 
 
+_EPILOG = """\
+examples:
+  repro-campaign --list
+  repro-campaign fig3a fig4 --scale tiny --workers 4 --output results/
+  repro-campaign fig5a --workers 4 --output results/                # ... killed partway
+  repro-campaign fig5a --workers 4 --output results/ --resume       # finish the rest
+
+  # sharded multi-machine campaign, driven end to end (launch, watch, retry
+  # failed shards with --resume, merge) by the orchestrator:
+  repro-campaign orchestrate fig6a --shards 4 --workers-per-shard 2 --output results/
+  repro-campaign orchestrate fig6a --shards 16 --emit-slurm fig6a.sbatch \\
+      --journal-dir /shared/journals                                # render, don't run
+
+  # under the hood (or from a real scheduler): one --shard run per machine
+  # into a shared journal store, then any machine merges
+  repro-campaign fig6a --shard 1/2 --journal-dir /shared/journals   # machine A
+  repro-campaign fig6a --shard 2/2 --journal-dir /shared/journals   # machine B
+  repro-campaign fig6a --merge-only --journal-dir /shared/journals --output results/
+
+`repro-campaign orchestrate --help` documents the orchestrator's own options.
+"""
+
+
 def build_parser() -> argparse.ArgumentParser:
+    """The argparse parser for the main (run/shard/merge) command."""
     parser = argparse.ArgumentParser(
         prog="repro-campaign",
-        description="Run FRL-FI fault-injection campaigns, optionally on a process pool.",
+        description="Run FRL-FI fault-injection campaigns, optionally on a process "
+        "pool; the 'orchestrate' subcommand drives a whole sharded campaign "
+        "(launch, watch, retry, merge) from one terminal.",
+        epilog=_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     parser.add_argument(
         "experiments",
         nargs="*",
-        help="artifact identifiers (fig3a ... fig9, table1) or 'all'",
+        help="artifact identifiers (fig3a ... fig9, table1), 'all', or the "
+        "'orchestrate' subcommand",
     )
     parser.add_argument("--list", action="store_true", help="list runnable artifacts and exit")
     parser.add_argument(
@@ -104,7 +138,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--resume",
         action="store_true",
         help="skip cells already recorded in the journal of a previous "
-        "(interrupted) run of the same campaign",
+        "(interrupted) run of the same campaign, e.g.: repro-campaign fig5a "
+        "--output results/ --resume",
     )
     parser.add_argument(
         "--shard",
@@ -112,14 +147,16 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="run only shard K of an N-way strided partition of each "
         "artifact's cells, journaling to <label>.shard-K-of-N.jsonl; shard "
-        "runs never merge (use --merge-only once every shard has run)",
+        "runs never merge (use --merge-only once every shard has run), "
+        "e.g.: repro-campaign fig6a --shard 1/2 --journal-dir /shared/journals",
     )
     parser.add_argument(
         "--merge-only",
         action="store_true",
         help="merge previously journaled shard runs into the final payload "
         "without executing any cell; fails loudly if any shard or cell is "
-        "missing or any journal does not match the plan",
+        "missing or any journal does not match the plan, e.g.: repro-campaign "
+        "fig6a --merge-only --journal-dir /shared/journals --output results/",
     )
     parser.add_argument(
         "--cache-dir",
@@ -131,6 +168,255 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+_ORCHESTRATE_EPILOG = """\
+examples:
+  # 4 concurrent shard subprocesses, 2 pool workers each, retry a failed or
+  # stalled shard (resuming from its journal) up to 2 times, then merge:
+  repro-campaign orchestrate fig6a --shards 4 --workers-per-shard 2 --output results/
+
+  # don't run locally — render ready-to-submit cluster templates instead:
+  repro-campaign orchestrate fig6a --shards 16 --journal-dir /shared/journals \\
+      --emit-slurm fig6a.sbatch --emit-k8s fig6a.yaml
+
+The merged payload is byte-identical to an unsharded single-machine run; the
+per-shard attempt log lands in <journal-dir>/<label>.orchestrator.json.
+"""
+
+
+def build_orchestrate_parser() -> argparse.ArgumentParser:
+    """The argparse parser for the ``orchestrate`` subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="repro-campaign orchestrate",
+        description="Drive a whole sharded campaign from one terminal: launch "
+        "each --shard k/n run as a subprocess, tail the shard journals for "
+        "live progress, retry failed or stalled shards with --resume, and "
+        "merge the shard journals into the final payload.",
+        epilog=_ORCHESTRATE_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument(
+        "experiment",
+        help="artifact identifier to orchestrate (must decompose into >1 cell, "
+        "e.g. fig6a)",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        required=True,
+        metavar="N",
+        help="number of --shard k/N subprocesses to run (all concurrently)",
+    )
+    parser.add_argument(
+        "--workers-per-shard",
+        type=int,
+        default=1,
+        metavar="M",
+        help="process-pool size inside each shard subprocess (default: 1)",
+    )
+    parser.add_argument(
+        "--batch-cells",
+        type=int,
+        default=1,
+        metavar="B",
+        help="forwarded to each shard: group up to B cells per pool submission",
+    )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        metavar="R",
+        help="retry a failed or stalled shard up to R times, resuming from its "
+        "journal with --resume (default: 2)",
+    )
+    parser.add_argument(
+        "--stall-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="kill and retry a shard whose journal shows no new cell for this "
+        "many seconds (default: disabled)",
+    )
+    parser.add_argument(
+        "--poll-interval",
+        type=float,
+        default=0.5,
+        metavar="SECONDS",
+        help="how often shard journals are polled for progress (default: 0.5)",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=sorted(_SCALE_PRESETS),
+        default="fast",
+        help="workload scale preset, forwarded to every shard (default: fast)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=None, help="root seed, forwarded to every shard"
+    )
+    parser.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        help="policy cache directory shared by the orchestrator and all shards "
+        "(default: $FRLFI_CACHE_DIR or ./.frlfi_cache)",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help="directory for the merged .json/.txt result files",
+    )
+    parser.add_argument(
+        "--journal-dir",
+        type=Path,
+        default=None,
+        help="shared journal store for the shard journals and the orchestrator "
+        "report (default: <output>/journals when --output is given)",
+    )
+    parser.add_argument(
+        "--emit-slurm",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="instead of running locally, write a ready-to-submit Slurm "
+        "array-job script for the sharded campaign to FILE and exit",
+    )
+    parser.add_argument(
+        "--emit-k8s",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="instead of running locally, write a ready-to-submit Kubernetes "
+        "indexed-Job manifest for the sharded campaign to FILE and exit",
+    )
+    parser.add_argument(
+        "--inject-kill-shard",
+        type=int,
+        default=None,
+        metavar="K",
+        help="chaos-testing hook: SIGKILL shard K's first attempt once it has "
+        "journaled a cell, forcing the retry+--resume path (CI uses this to "
+        "prove the merged payload survives a mid-run kill)",
+    )
+    return parser
+
+
+def _shard_forwarded_args(args, include_workers: bool = True) -> list:
+    """The CLI arguments every shard subprocess inherits from orchestrate.
+
+    The cluster templates render ``--workers`` themselves (it doubles as the
+    scheduler's cpus-per-task request), so they ask for the rest only.
+    """
+    forwarded = ["--scale", args.scale]
+    if include_workers:
+        forwarded += ["--workers", str(args.workers_per_shard)]
+    if args.batch_cells > 1:
+        forwarded += ["--batch-cells", str(args.batch_cells)]
+    if args.seed is not None:
+        forwarded += ["--seed", str(args.seed)]
+    if args.cache_dir is not None:
+        forwarded += ["--cache-dir", str(args.cache_dir)]
+    return forwarded
+
+
+def _orchestrate_main(argv: Sequence[str]) -> int:
+    """Entry point for ``repro-campaign orchestrate ...``."""
+    from repro.runtime.orchestrator import (
+        OrchestratorError,
+        ShardOrchestrator,
+        render_k8s_manifest,
+        render_slurm_script,
+    )
+
+    parser = build_orchestrate_parser()
+    args = parser.parse_args(argv)
+    if args.shards < 1:
+        parser.error("--shards must be >= 1")
+    if args.workers_per_shard < 1:
+        parser.error("--workers-per-shard must be >= 1")
+    if args.batch_cells < 1:
+        parser.error("--batch-cells must be >= 1")
+    if args.max_retries < 0:
+        parser.error("--max-retries must be >= 0")
+    if args.poll_interval <= 0:
+        parser.error("--poll-interval must be > 0")
+    if args.stall_timeout is not None and args.stall_timeout <= 0:
+        parser.error("--stall-timeout must be > 0")
+    journal_dir = args.journal_dir
+    if journal_dir is None and args.output is not None:
+        journal_dir = args.output / "journals"
+    if journal_dir is None:
+        parser.error(
+            "orchestration needs the shared journal store "
+            "(give --journal-dir or --output)"
+        )
+
+    if args.emit_slurm is not None or args.emit_k8s is not None:
+        # Template emission renders the commands a real scheduler would run;
+        # it deliberately builds no plan (clusters render at paper scale
+        # without paying for baseline training on the submit host).
+        template_kwargs = dict(
+            journal_dir=journal_dir,
+            workers_per_shard=args.workers_per_shard,
+            shard_args=_shard_forwarded_args(args, include_workers=False),
+        )
+        for path, renderer, kind in (
+            (args.emit_slurm, render_slurm_script, "Slurm array job"),
+            (args.emit_k8s, render_k8s_manifest, "Kubernetes indexed Job"),
+        ):
+            if path is None:
+                continue
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(
+                renderer(args.experiment, args.shards, **template_kwargs),
+                encoding="utf8",
+            )
+            print(f"[repro-campaign] wrote {kind} template to {path}", flush=True)
+        return 0
+
+    gridworld_factory, drone_factory = _SCALE_PRESETS[args.scale]
+    gridworld_scale = gridworld_factory()
+    drone_scale = drone_factory()
+    if args.seed is not None:
+        gridworld_scale = gridworld_scale.with_seed(args.seed)
+        drone_scale = drone_scale.with_seed(args.seed)
+    runner = CampaignRunner(
+        gridworld_scale=gridworld_scale,
+        drone_scale=drone_scale,
+        cache=PolicyCache(args.cache_dir) if args.cache_dir is not None else None,
+        journal_dir=journal_dir,
+    )
+    orchestrator = ShardOrchestrator(
+        args.experiment,
+        args.shards,
+        runner,
+        shard_args=_shard_forwarded_args(args),
+        max_retries=args.max_retries,
+        stall_timeout=args.stall_timeout,
+        poll_interval=args.poll_interval,
+        inject_kill_shard=args.inject_kill_shard,
+        on_event=lambda message: print(f"[orchestrate] {message}", flush=True),
+    )
+    start = time.perf_counter()
+    try:
+        report = orchestrator.run()
+    except KeyboardInterrupt:
+        raise
+    except OrchestratorError as error:
+        print(f"[orchestrate] FAILED — {error}", file=sys.stderr, flush=True)
+        if error.report is not None:
+            print(error.report.render(), file=sys.stderr, flush=True)
+        return 1
+    except Exception as error:
+        print(f"[orchestrate] FAILED — {error}", file=sys.stderr, flush=True)
+        return 1
+    elapsed = time.perf_counter() - start
+    print(report.render(), flush=True)
+    print(f"[orchestrate] {args.experiment}: done in {elapsed:.1f}s", flush=True)
+    if args.output is not None and report.result is not None:
+        _save(args.output, args.experiment, report.result)
+    return 0
+
+
 def _save(output_dir: Path, name: str, result) -> None:
     output_dir.mkdir(parents=True, exist_ok=True)
     text = result.render() if hasattr(result, "render") else str(result)
@@ -140,13 +426,17 @@ def _save(output_dir: Path, name: str, result) -> None:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    parser = build_parser()
-    args = parser.parse_args(argv)
+    """Run the ``repro-campaign`` CLI; returns the process exit code."""
+    arguments = list(argv) if argv is not None else sys.argv[1:]
     # Journal-invalidation warnings (stale fingerprints, shard mismatches)
     # come through the logging module; make them visible on stderr.
     logging.basicConfig(
         level=logging.WARNING, format="[repro-campaign] %(levelname)s: %(message)s"
     )
+    if arguments[:1] == ["orchestrate"]:
+        return _orchestrate_main(arguments[1:])
+    parser = build_parser()
+    args = parser.parse_args(arguments)
 
     if args.list:
         decomposed = set(decomposed_experiment_ids())

@@ -112,6 +112,79 @@ def plan_fingerprint(plan) -> str:
     return hashlib.sha1(payload.encode("utf8")).hexdigest()
 
 
+def count_completed_cells(path) -> int:
+    """One-shot progress probe: completed-cell records currently in ``path``.
+
+    Counts newline-terminated ``"kind": "cell"`` lines without validating
+    them against a plan.  A missing file counts as zero; an unparsable line
+    (the partial trailing write of a mid-kill) ends the count, matching
+    :meth:`CampaignJournal.load`.  For repeated polling of a *growing*
+    journal use :class:`JournalProgress`, which reads only the new bytes.
+    """
+    try:
+        raw = Path(path).read_bytes()
+    except OSError:
+        return 0
+    count = 0
+    for line in raw.split(b"\n")[:-1]:
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            break
+        if isinstance(record, dict) and record.get("kind") == "cell":
+            count += 1
+    return count
+
+
+class JournalProgress:
+    """Incremental cell-count prober for a live (growing) journal file.
+
+    The orchestrator polls every shard journal at sub-second frequency for
+    hours; re-reading whole files would make each poll O(file size).  This
+    prober remembers the byte offset of the last newline-terminated record it
+    has counted and parses only the bytes appended since — O(new bytes) per
+    :meth:`poll`.  A file that shrinks (a retry's resume truncates the
+    partial tail, or a fresh attempt rewrites the journal) resets the scan;
+    an unterminated trailing line is left for the next poll, so a record is
+    never counted from a half-written line.
+    """
+
+    def __init__(self, path) -> None:
+        self.path = Path(path)
+        self._offset = 0
+        self._count = 0
+
+    def poll(self) -> int:
+        """The number of completed-cell records in the journal right now."""
+        try:
+            size = self.path.stat().st_size
+        except OSError:
+            self._offset = 0
+            self._count = 0
+            return 0
+        if size < self._offset:
+            # Truncated or rewritten since the last poll: rescan from the top.
+            self._offset = 0
+            self._count = 0
+        if size == self._offset:
+            return self._count
+        with self.path.open("rb") as handle:
+            handle.seek(self._offset)
+            chunk = handle.read()
+        terminated = chunk.rfind(b"\n")
+        if terminated == -1:
+            return self._count
+        for line in chunk[:terminated].split(b"\n"):
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(record, dict) and record.get("kind") == "cell":
+                self._count += 1
+        self._offset += terminated + 1
+        return self._count
+
+
 class CampaignJournal:
     """Append-only JSONL record of one plan's completed cell outputs.
 
@@ -300,6 +373,7 @@ class CampaignJournal:
         return json.loads(encoded)["output"]
 
     def close(self) -> None:
+        """Close the journal file handle (idempotent)."""
         if self._handle is not None:
             self._handle.close()
             self._handle = None

@@ -1,0 +1,634 @@
+"""Shard orchestration: launch, watch, retry, and merge multi-machine shards.
+
+PR 3 built the shard *wire protocol* — ``--shard k/n`` journals plus
+``--merge-only`` folding — but left a human as the scheduler: someone had to
+start every shard, notice when one died, rerun it, and merge.  This module is
+that missing layer.  :class:`ShardOrchestrator` drives a whole sharded
+campaign from one process:
+
+* each shard runs as a ``repro-campaign <id> --shard k/n`` **subprocess**
+  (``asyncio.create_subprocess_exec``), all shards concurrently;
+* the orchestrator **tails the shard journal files** (they are the single
+  source of truth for progress — the same property that makes them the
+  multi-machine wire format) and reports live per-shard cell counts;
+* a shard whose subprocess exits non-zero, stalls (no journal progress for
+  ``stall_timeout`` seconds), or is killed is **retried with ``--resume``** up
+  to ``max_retries`` times — resuming from its journal, never restarting the
+  completed cells;
+* when every shard has succeeded, the orchestrator runs
+  :meth:`~repro.runtime.runner.CampaignRunner.merge_shards`, producing a
+  payload **byte-identical** to a single-machine run;
+* a structured :class:`OrchestratorReport` (per-shard attempts, durations,
+  retry reasons) is written into the journal directory for post-mortems.
+
+For real clusters the orchestrator does not pretend to be a scheduler:
+:func:`render_slurm_script` and :func:`render_k8s_manifest` emit
+ready-to-submit Slurm array-job / Kubernetes indexed-Job templates whose
+array tasks run exactly the same ``--shard k/n --resume`` commands, so the
+scheduler's own requeue machinery resumes from the journals too.
+
+The orchestrator deliberately reuses :class:`~repro.runtime.sharding.ShardSpec`
+and ``merge_shards`` — it introduces no second partitioning scheme, only a
+driver for the existing one.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import shlex
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, List, Optional, Sequence
+
+from repro.runtime.journal import JournalProgress
+from repro.runtime.runner import CampaignError, CampaignRunner
+from repro.runtime.sharding import ShardSpec
+from repro.utils.serialization import save_json
+
+
+class OrchestratorError(CampaignError):
+    """A sharded campaign could not be completed (a shard exhausted its retries).
+
+    Carries the :class:`OrchestratorReport` (already written to the journal
+    directory) as ``report``, so callers can still inspect which shard failed,
+    why, and what every attempt looked like.
+    """
+
+    def __init__(self, message: str, report: Optional["OrchestratorReport"] = None) -> None:
+        super().__init__(message)
+        self.report = report
+
+
+@dataclass(frozen=True)
+class ShardAttempt:
+    """One subprocess attempt at running a shard.
+
+    ``reason`` is ``None`` for a successful attempt; otherwise it names why
+    the attempt failed ("exit status 1: ...", "stalled: ...", an injected
+    kill).  ``resumed`` records whether ``--resume`` was passed, i.e. whether
+    the attempt continued from the shard journal instead of restarting.
+    """
+
+    number: int
+    duration_seconds: float
+    returncode: Optional[int]
+    cells_completed: int
+    resumed: bool
+    reason: Optional[str]
+
+    def as_dict(self) -> dict:
+        """JSON-serializable form for the orchestrator report."""
+        return {
+            "number": self.number,
+            "duration_seconds": round(self.duration_seconds, 3),
+            "returncode": self.returncode,
+            "cells_completed": self.cells_completed,
+            "resumed": self.resumed,
+            "reason": self.reason,
+        }
+
+
+@dataclass
+class ShardOutcome:
+    """Everything that happened to one shard: its attempts, in order."""
+
+    shard: ShardSpec
+    assigned_cells: int
+    attempts: List[ShardAttempt] = field(default_factory=list)
+
+    @property
+    def succeeded(self) -> bool:
+        """Whether the shard's final attempt completed cleanly."""
+        return bool(self.attempts) and self.attempts[-1].reason is None
+
+    @property
+    def retry_count(self) -> int:
+        """How many times the shard was retried (attempts beyond the first)."""
+        return max(0, len(self.attempts) - 1)
+
+    def as_dict(self) -> dict:
+        """JSON-serializable form for the orchestrator report."""
+        return {
+            "shard": self.shard.describe(),
+            "assigned_cells": self.assigned_cells,
+            "succeeded": self.succeeded,
+            "attempts": [attempt.as_dict() for attempt in self.attempts],
+        }
+
+
+@dataclass
+class OrchestratorReport:
+    """Structured post-mortem of one orchestrated campaign.
+
+    Written as ``<label>.orchestrator.json`` into the journal directory
+    whether the campaign merged or failed, so "why did shard 3 take four
+    attempts last night" has an answer that outlives the terminal scrollback.
+    The merged result object (when ``merged``) is on :attr:`result`; it is
+    not serialized into the report — the campaign's own ``--output`` files
+    hold the payload.
+    """
+
+    experiment_id: str
+    shard_count: int
+    cell_count: int
+    max_retries: int
+    outcomes: List[ShardOutcome]
+    merged: bool = False
+    duration_seconds: float = 0.0
+    result: Optional[object] = None
+    path: Optional[Path] = None
+
+    @property
+    def failed_shards(self) -> List[ShardSpec]:
+        """The shards whose retries were exhausted, in shard order."""
+        return [outcome.shard for outcome in self.outcomes if not outcome.succeeded]
+
+    def as_dict(self) -> dict:
+        """JSON-serializable form (excludes the in-memory merged result)."""
+        return {
+            "experiment_id": self.experiment_id,
+            "shard_count": self.shard_count,
+            "cell_count": self.cell_count,
+            "max_retries": self.max_retries,
+            "merged": self.merged,
+            "duration_seconds": round(self.duration_seconds, 3),
+            "shards": [outcome.as_dict() for outcome in self.outcomes],
+        }
+
+    def render(self) -> str:
+        """Plain-text summary: one line per shard, attempts and outcome."""
+        lines = [
+            f"{self.experiment_id}: {self.shard_count} shard(s) over "
+            f"{self.cell_count} cells in {self.duration_seconds:.1f}s — "
+            + ("merged" if self.merged else "NOT merged")
+        ]
+        for outcome in self.outcomes:
+            status = "ok" if outcome.succeeded else "FAILED"
+            detail = ""
+            reasons = [a.reason for a in outcome.attempts if a.reason is not None]
+            if reasons:
+                detail = f" (failed attempts: {'; '.join(reasons)})"
+            lines.append(
+                f"  shard {outcome.shard.describe()}: {status} after "
+                f"{len(outcome.attempts)} attempt(s), "
+                f"{outcome.assigned_cells} cell(s){detail}"
+            )
+        return "\n".join(lines)
+
+
+#: Signature of the testing hook that overrides shard subprocess commands:
+#: ``(spec, attempt_number, resume) -> argv``.
+CommandFactory = Callable[[ShardSpec, int, bool], Sequence[str]]
+
+
+class ShardOrchestrator:
+    """Asyncio driver for an ``n``-way sharded campaign on this machine.
+
+    Parameters
+    ----------
+    experiment_id:
+        The registered artifact to run (must decompose into >1 cell).
+    shard_count:
+        How many ``--shard k/n`` subprocesses to run (all concurrently).
+    runner:
+        A :class:`~repro.runtime.runner.CampaignRunner` with ``journal_dir``
+        set to the shared journal store.  The orchestrator uses it to build
+        the plan **in the parent process** — which trains or loads any missing
+        pretrained baselines *before* the shards launch, so concurrent
+        subprocesses never race to train the same baseline — and to
+        ``merge_shards`` at the end.
+    plan:
+        Optional pre-built :class:`~repro.runtime.cells.CampaignPlan`
+        (testing hook; defaults to ``runner.plan(experiment_id)``).
+    shard_args:
+        Extra CLI arguments forwarded verbatim to every shard subprocess
+        (``--scale``, ``--seed``, ``--cache-dir``, ``--workers``, ...).
+    max_retries:
+        How many times a failed or stalled shard is retried (with
+        ``--resume``) beyond its first attempt.
+    stall_timeout:
+        Kill and retry a shard whose journal shows no new cell for this many
+        seconds (``None`` disables stall detection).
+    poll_interval:
+        How often (seconds) shard journals are polled for progress.
+    inject_kill_shard:
+        Chaos-testing hook: SIGKILL this shard's *first* attempt as soon as
+        its journal holds at least one cell.  CI uses it to prove the
+        kill → retry → ``--resume`` → byte-identical-merge path on a real
+        artifact.
+    command_factory:
+        Testing hook replacing the default ``repro-campaign <id> --shard k/n``
+        subprocess command.
+    on_event:
+        Callback receiving human-readable progress lines (``None`` = silent).
+    """
+
+    def __init__(
+        self,
+        experiment_id: str,
+        shard_count: int,
+        runner: CampaignRunner,
+        *,
+        plan=None,
+        shard_args: Sequence[str] = (),
+        max_retries: int = 2,
+        stall_timeout: Optional[float] = None,
+        poll_interval: float = 0.5,
+        inject_kill_shard: Optional[int] = None,
+        command_factory: Optional[CommandFactory] = None,
+        on_event: Optional[Callable[[str], None]] = None,
+        python_executable: Optional[str] = None,
+    ) -> None:
+        if shard_count < 1:
+            raise ValueError(f"shard count must be >= 1, got {shard_count}")
+        if max_retries < 0:
+            raise ValueError(f"max retries must be >= 0, got {max_retries}")
+        if poll_interval <= 0:
+            raise ValueError(f"poll interval must be > 0, got {poll_interval}")
+        if stall_timeout is not None and stall_timeout <= 0:
+            raise ValueError(f"stall timeout must be > 0, got {stall_timeout}")
+        if runner.journal_dir is None:
+            raise CampaignError(
+                "orchestration requires a journal directory: construct the "
+                "CampaignRunner with journal_dir (CLI: --journal-dir or --output)"
+            )
+        self.experiment_id = experiment_id
+        self.shard_count = int(shard_count)
+        self.runner = runner
+        self.journal_dir = runner.journal_dir
+        self._plan = plan
+        self.shard_args = list(shard_args)
+        self.max_retries = int(max_retries)
+        self.stall_timeout = stall_timeout
+        self.poll_interval = float(poll_interval)
+        self.inject_kill_shard = inject_kill_shard
+        self.command_factory = command_factory
+        self.on_event = on_event
+        self.python_executable = python_executable or sys.executable
+
+    # ------------------------------------------------------------------- plan
+    @property
+    def plan(self):
+        """The campaign plan, built once in the parent process.
+
+        Building the plan trains (or cache-loads) every pretrained baseline
+        *before* any shard subprocess starts — the shards then find a warm
+        cache instead of racing each other to train the same policy.
+        """
+        if self._plan is None:
+            self._plan = self.runner.plan(self.experiment_id)
+        return self._plan
+
+    def shard_specs(self) -> List[ShardSpec]:
+        """The :class:`ShardSpec` for every shard of this orchestration."""
+        return [ShardSpec(index, self.shard_count) for index in range(1, self.shard_count + 1)]
+
+    # --------------------------------------------------------------- commands
+    def shard_command(self, spec: ShardSpec, attempt_number: int, resume: bool) -> List[str]:
+        """The argv for one shard attempt's subprocess.
+
+        The default command is the public CLI itself — ``repro-campaign
+        <id> --shard k/n --journal-dir ...`` — so an orchestrated shard is
+        bit-for-bit the same run a human (or Slurm/Kubernetes) would launch.
+        """
+        if self.command_factory is not None:
+            return list(self.command_factory(spec, attempt_number, resume))
+        command = [
+            self.python_executable,
+            "-m",
+            "repro.runtime.cli",
+            self.experiment_id,
+            "--shard",
+            spec.describe(),
+            "--journal-dir",
+            str(self.journal_dir),
+            *self.shard_args,
+        ]
+        if resume:
+            command.append("--resume")
+        return command
+
+    def _subprocess_env(self) -> dict:
+        """Environment for shard subprocesses (repro importable without install)."""
+        env = dict(os.environ)
+        src_root = str(Path(__file__).resolve().parents[2])
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = src_root if not existing else src_root + os.pathsep + existing
+        return env
+
+    def _emit(self, message: str) -> None:
+        """Send one progress line to the ``on_event`` callback, if any."""
+        if self.on_event is not None:
+            self.on_event(message)
+
+    # -------------------------------------------------------------- execution
+    def run(self) -> OrchestratorReport:
+        """Run the whole orchestration synchronously (``asyncio.run`` wrapper)."""
+        return asyncio.run(self.run_async())
+
+    async def run_async(self) -> OrchestratorReport:
+        """Launch every shard, retry failures, merge, and write the report.
+
+        Returns the :class:`OrchestratorReport` with ``merged=True`` and the
+        merged result on ``report.result``.  Raises :class:`OrchestratorError`
+        (carrying the report) when any shard exhausts its retries — the report
+        is written to the journal directory in both cases.
+        """
+        plan = self.plan
+        if plan.cell_count <= 1:
+            raise OrchestratorError(
+                f"{self.experiment_id!r} is a single-cell plan and cannot be "
+                "sharded or orchestrated; run it directly instead"
+            )
+        if self.shard_count > plan.cell_count:
+            self._emit(
+                f"note: {self.shard_count} shards over {plan.cell_count} cells — "
+                f"{self.shard_count - plan.cell_count} shard(s) will own no cells"
+            )
+        started = time.monotonic()
+        outcomes = await asyncio.gather(
+            *(self._drive_shard(spec) for spec in self.shard_specs())
+        )
+        report = OrchestratorReport(
+            experiment_id=self.experiment_id,
+            shard_count=self.shard_count,
+            cell_count=plan.cell_count,
+            max_retries=self.max_retries,
+            outcomes=list(outcomes),
+        )
+        failed = report.failed_shards
+        merge_error: Optional[Exception] = None
+        if not failed:
+            try:
+                report.result = self.runner.merge_shards(plan, name=self.experiment_id)
+                report.merged = True
+            except Exception as error:
+                # The report (the post-mortem) must land even when the merge
+                # finds e.g. stale foreign shard journals in the shared store.
+                merge_error = error
+        report.duration_seconds = time.monotonic() - started
+        report.path = self.journal_dir / f"{self.experiment_id}.orchestrator.json"
+        save_json(report.path, report.as_dict())
+        self._emit(f"report written to {report.path}")
+        if merge_error is not None:
+            raise OrchestratorError(
+                f"every shard of {self.experiment_id} succeeded but merging "
+                f"failed: {merge_error}",
+                report=report,
+            ) from merge_error
+        if failed:
+            names = ", ".join(spec.describe() for spec in failed)
+            reasons = "; ".join(
+                outcome.attempts[-1].reason or "unknown"
+                for outcome in report.outcomes
+                if not outcome.succeeded
+            )
+            raise OrchestratorError(
+                f"shard(s) {names} of {self.experiment_id} failed after "
+                f"{self.max_retries + 1} attempt(s): {reasons}",
+                report=report,
+            )
+        return report
+
+    async def _drive_shard(self, spec: ShardSpec) -> ShardOutcome:
+        """Run one shard to success or retry exhaustion."""
+        journal_path = spec.journal_path(self.journal_dir, self.experiment_id)
+        outcome = ShardOutcome(
+            shard=spec,
+            assigned_cells=len(spec.cell_indices(self.plan.cell_count)),
+        )
+        total = self.max_retries + 1
+        for number in range(1, total + 1):
+            # First attempts resume too when a journal is already on disk —
+            # e.g. a previous orchestrate run that died; completed cells are
+            # never re-executed.
+            resume = number > 1 or journal_path.exists()
+            attempt = await self._attempt(spec, number, journal_path, resume)
+            outcome.attempts.append(attempt)
+            if attempt.reason is None:
+                self._emit(
+                    f"shard {spec.describe()}: done — "
+                    f"{attempt.cells_completed}/{outcome.assigned_cells} cells "
+                    f"journaled in {attempt.duration_seconds:.1f}s "
+                    f"(attempt {number}/{total})"
+                )
+                break
+            if number < total:
+                self._emit(
+                    f"shard {spec.describe()}: attempt {number} failed "
+                    f"({attempt.reason}); retrying with --resume "
+                    f"(attempt {number + 1}/{total})"
+                )
+            else:
+                self._emit(
+                    f"shard {spec.describe()}: FAILED after {total} attempt(s) "
+                    f"— {attempt.reason}"
+                )
+        return outcome
+
+    async def _attempt(
+        self, spec: ShardSpec, number: int, journal_path: Path, resume: bool
+    ) -> ShardAttempt:
+        """One subprocess attempt: spawn, tail the journal, decide the outcome."""
+        command = self.shard_command(spec, number, resume)
+        self._emit(
+            f"shard {spec.describe()}: attempt {number} starting — "
+            + " ".join(shlex.quote(part) for part in command)
+        )
+        started = time.monotonic()
+        process = await asyncio.create_subprocess_exec(
+            *command,
+            stdout=asyncio.subprocess.DEVNULL,
+            stderr=asyncio.subprocess.PIPE,
+            env=self._subprocess_env(),
+        )
+        # Drain stderr concurrently so a chatty shard can never fill the pipe
+        # and deadlock against our poll loop.
+        stderr_task = asyncio.ensure_future(process.stderr.read())
+        wait_task = asyncio.ensure_future(process.wait())
+        kill_reason: Optional[str] = None
+        progress = JournalProgress(journal_path)
+        cells = progress.poll()
+        last_change = time.monotonic()
+        try:
+            while True:
+                done, _ = await asyncio.wait({wait_task}, timeout=self.poll_interval)
+                now = time.monotonic()
+                current = progress.poll()
+                if current != cells:
+                    cells = current
+                    last_change = now
+                    self._emit(
+                        f"shard {spec.describe()}: {cells} cell(s) journaled "
+                        f"(attempt {number})"
+                    )
+                if wait_task in done:
+                    break
+                if kill_reason is None:
+                    if (
+                        self.inject_kill_shard == spec.index
+                        and number == 1
+                        and cells >= 1
+                    ):
+                        kill_reason = (
+                            "injected kill (--inject-kill-shard chaos hook, "
+                            "first attempt)"
+                        )
+                    elif (
+                        self.stall_timeout is not None
+                        and now - last_change > self.stall_timeout
+                    ):
+                        kill_reason = (
+                            f"stalled: no journal progress for more than "
+                            f"{self.stall_timeout:.0f}s"
+                        )
+                    if kill_reason is not None:
+                        self._emit(
+                            f"shard {spec.describe()}: killing attempt {number} — "
+                            f"{kill_reason}"
+                        )
+                        process.kill()
+            returncode = wait_task.result()
+            stderr_text = (await stderr_task).decode("utf8", errors="replace")
+        finally:
+            # Never orphan a shard: on cancellation (Ctrl+C) or any monitor
+            # error, the subprocess dies with the orchestrator.  Awaiting the
+            # tasks (rather than cancelling them) lets the event loop reap
+            # the killed child and close its pipes cleanly.
+            if process.returncode is None:
+                process.kill()
+            await asyncio.gather(wait_task, stderr_task, return_exceptions=True)
+        duration = time.monotonic() - started
+        cells = progress.poll()
+        if returncode == 0 and kill_reason is None:
+            if self.inject_kill_shard == spec.index and number == 1:
+                # The shard finished between polls, before the kill could
+                # land.  Treat the attempt as failed anyway so the chaos hook
+                # stays deterministic: the retry resumes a complete journal,
+                # executes nothing, and exits 0.
+                kill_reason = (
+                    "injected kill (--inject-kill-shard chaos hook, first "
+                    "attempt; shard finished before the kill landed, attempt "
+                    "treated as failed)"
+                )
+                reason = kill_reason
+            else:
+                reason = None
+        elif kill_reason is not None:
+            reason = kill_reason
+        else:
+            tail = [line for line in stderr_text.strip().splitlines() if line.strip()]
+            reason = f"exit status {returncode}"
+            if tail:
+                reason += f": {tail[-1].strip()}"
+        return ShardAttempt(
+            number=number,
+            duration_seconds=duration,
+            returncode=returncode,
+            cells_completed=cells,
+            resumed=resume,
+            reason=reason,
+        )
+
+
+# ------------------------------------------------------------------ templates
+def _shard_extra(shard_args: Sequence[str]) -> str:
+    """Render forwarded shard CLI arguments for a shell template."""
+    return " ".join(shlex.quote(str(arg)) for arg in shard_args)
+
+
+def render_slurm_script(
+    experiment_id: str,
+    shard_count: int,
+    *,
+    journal_dir,
+    workers_per_shard: int = 1,
+    shard_args: Sequence[str] = (),
+    time_limit: str = "04:00:00",
+) -> str:
+    """A ready-to-submit Slurm array-job script for an ``n``-way sharded run.
+
+    Each array task runs one ``--shard k/n --resume`` invocation — the same
+    command the local orchestrator spawns — so Slurm's own ``--requeue``
+    machinery resumes a preempted shard from its journal.  Merge afterwards
+    with ``--merge-only`` from any node that sees ``journal_dir``.
+    """
+    extra = _shard_extra(shard_args)
+    extra = f" {extra}" if extra else ""
+    return f"""#!/bin/bash
+#SBATCH --job-name=frlfi-{experiment_id}
+#SBATCH --array=1-{shard_count}
+#SBATCH --ntasks=1
+#SBATCH --cpus-per-task={workers_per_shard}
+#SBATCH --time={time_limit}
+#SBATCH --requeue
+# One array task per shard; --resume makes a requeued task continue from its
+# journal in the shared store instead of recomputing finished cells.
+repro-campaign {experiment_id} \\
+  --shard "${{SLURM_ARRAY_TASK_ID}}/{shard_count}" \\
+  --journal-dir {shlex.quote(str(journal_dir))} \\
+  --workers {workers_per_shard}{extra} --resume
+
+# After the whole array completes, merge from any node:
+#   repro-campaign {experiment_id} --merge-only \\
+#     --journal-dir {shlex.quote(str(journal_dir))} --output results/
+"""
+
+
+def render_k8s_manifest(
+    experiment_id: str,
+    shard_count: int,
+    *,
+    journal_dir,
+    workers_per_shard: int = 1,
+    shard_args: Sequence[str] = (),
+    image: str = "frl-fi-repro:latest",
+    journal_claim: str = "frlfi-journals",
+) -> str:
+    """A ready-to-submit Kubernetes indexed-Job manifest for a sharded run.
+
+    ``completionMode: Indexed`` gives each pod a ``JOB_COMPLETION_INDEX``
+    which maps to ``--shard $((index+1))/n``; ``restartPolicy: OnFailure``
+    plus ``--resume`` means a rescheduled pod continues from its shard
+    journal on the shared volume (``journal_claim``).  Merge afterwards with
+    ``--merge-only`` from any pod mounting the same volume.
+    """
+    extra = _shard_extra(shard_args)
+    extra = f" {extra}" if extra else ""
+    shard_command = (
+        f"repro-campaign {experiment_id}"
+        f' --shard "$((JOB_COMPLETION_INDEX + 1))/{shard_count}"'
+        f" --journal-dir {shlex.quote(str(journal_dir))}"
+        f" --workers {workers_per_shard}{extra} --resume"
+    )
+    return f"""apiVersion: batch/v1
+kind: Job
+metadata:
+  name: frlfi-{experiment_id}
+spec:
+  completions: {shard_count}
+  parallelism: {shard_count}
+  completionMode: Indexed
+  backoffLimit: {shard_count * 3}
+  template:
+    spec:
+      restartPolicy: OnFailure
+      containers:
+        - name: shard
+          image: {image}
+          command: ["/bin/sh", "-c"]
+          args:
+            - {shard_command}
+          volumeMounts:
+            - name: journals
+              mountPath: {journal_dir}
+      volumes:
+        - name: journals
+          persistentVolumeClaim:
+            claimName: {journal_claim}
+# After the Job completes, merge from any pod mounting the journal volume:
+#   repro-campaign {experiment_id} --merge-only --journal-dir {journal_dir} --output results/
+"""

@@ -57,6 +57,7 @@ class CampaignContext:
         drone_scale: Optional[DroneScale] = None,
         cache: Optional[PolicyCache] = None,
     ) -> "CampaignContext":
+        """Build a context, defaulting to ``fast`` scales and the default cache."""
         return cls(
             gridworld_scale=gridworld_scale or GridWorldScale.fast(),
             drone_scale=drone_scale or DroneScale.fast(),

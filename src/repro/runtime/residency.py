@@ -50,9 +50,11 @@ class PolicyRef:
 
     @property
     def path(self) -> Path:
+        """The on-disk JSON cache entry this ref points at."""
         return Path(self.cache_dir) / f"{self.key}.json"
 
     def describe(self) -> str:
+        """Human-readable form of the ref for error messages."""
         return f"{self.key}.json[{self.field}]"
 
     def fingerprint_token(self) -> str:

@@ -288,6 +288,7 @@ class CampaignRunner:
         outputs: List[object] = [None] * len(cells)
 
         def deliver(index: int, output: object) -> None:
+            """Journal (when enabled) and slot one completed cell output."""
             outputs[index] = journal.record(index, output) if journal is not None else output
 
         if not pending:

@@ -65,6 +65,7 @@ class ShardSpec:
         return cls(index=int(match.group(1)), count=int(match.group(2)))
 
     def describe(self) -> str:
+        """The CLI spelling of this shard, ``"k/n"``."""
         return f"{self.index}/{self.count}"
 
     def cell_indices(self, cell_count: int) -> List[int]:
@@ -76,9 +77,11 @@ class ShardSpec:
         return cell_index % self.count + 1
 
     def journal_name(self, label: str) -> str:
+        """The shard journal file name, ``<label>.shard-k-of-n.jsonl``."""
         return f"{label}.shard-{self.index}-of-{self.count}.jsonl"
 
     def journal_path(self, journal_dir, label: str) -> Path:
+        """The shard journal path under ``journal_dir``."""
         return Path(journal_dir) / self.journal_name(label)
 
 
@@ -100,6 +103,7 @@ class ShardRunReport:
     journal_path: Path
 
     def render(self) -> str:
+        """One-line human-readable summary of the shard run."""
         return (
             f"{self.experiment_id} shard {self.shard.describe()}: "
             f"{self.assigned}/{self.cell_count} cells assigned "

@@ -75,6 +75,90 @@ class TestShardValidation:
         assert "unknown experiments" in _error_text(capsys)
 
 
+class TestOrchestrateValidation:
+    def test_orchestrate_requires_journal_store(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["orchestrate", "fig6a", "--shards", "2"])
+        assert excinfo.value.code == 2
+        assert "journal store" in _error_text(capsys)
+
+    def test_orchestrate_requires_shards(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["orchestrate", "fig6a"])
+        assert excinfo.value.code == 2
+        assert "--shards" in _error_text(capsys)
+
+    @pytest.mark.parametrize(
+        ("flag", "value", "message"),
+        [
+            ("--shards", "0", "--shards must be >= 1"),
+            ("--workers-per-shard", "0", "--workers-per-shard must be >= 1"),
+            ("--max-retries", "-1", "--max-retries must be >= 0"),
+            ("--batch-cells", "0", "--batch-cells must be >= 1"),
+            ("--poll-interval", "0", "--poll-interval must be > 0"),
+            ("--stall-timeout", "0", "--stall-timeout must be > 0"),
+        ],
+    )
+    def test_orchestrate_rejects_bad_knobs(self, capsys, tmp_path, flag, value, message):
+        argv = ["orchestrate", "fig6a", "--journal-dir", str(tmp_path)]
+        if flag != "--shards":
+            argv += ["--shards", "2"]
+        argv += [flag, value]
+        with pytest.raises(SystemExit) as excinfo:
+            main(argv)
+        assert excinfo.value.code == 2
+        assert message in _error_text(capsys)
+
+    def test_orchestrate_rejects_single_cell_artifacts(self, capsys, tmp_path):
+        """fig9 has one cell — nothing to shard, so orchestration must fail
+        loudly (exit 1) instead of spawning useless subprocesses."""
+        exit_code = main(
+            ["orchestrate", "fig9", "--shards", "2", "--journal-dir", str(tmp_path)]
+        )
+        assert exit_code == 1
+        assert "single-cell" in _error_text(capsys)
+
+    def test_orchestrate_unknown_experiment_fails(self, capsys, tmp_path):
+        exit_code = main(
+            ["orchestrate", "nope", "--shards", "2", "--journal-dir", str(tmp_path)]
+        )
+        assert exit_code == 1
+        assert "unknown experiment" in _error_text(capsys)
+
+    def test_emit_templates_render_without_running(self, capsys, tmp_path):
+        """--emit-slurm/--emit-k8s write ready-to-submit templates and exit 0
+        without building a plan or spawning any shard."""
+        slurm = tmp_path / "fig6a.sbatch"
+        k8s = tmp_path / "fig6a.yaml"
+        exit_code = main(
+            [
+                "orchestrate", "fig6a", "--shards", "4", "--scale", "paper",
+                "--workers-per-shard", "8", "--journal-dir", "/shared/journals",
+                "--emit-slurm", str(slurm), "--emit-k8s", str(k8s),
+            ]
+        )
+        assert exit_code == 0
+        script = slurm.read_text()
+        assert "#SBATCH --array=1-4" in script
+        assert '--shard "${SLURM_ARRAY_TASK_ID}/4"' in script
+        assert "--scale paper" in script
+        manifest = k8s.read_text()
+        assert "completionMode: Indexed" in manifest
+        assert '--shard "$((JOB_COMPLETION_INDEX + 1))/4"' in manifest
+
+    def test_main_help_mentions_shard_merge_resume_workflow(self, capsys):
+        """Regression for the help-text satellite: the epilog shows worked
+        shard / merge / resume / orchestrate examples."""
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--help"])
+        assert excinfo.value.code == 0
+        text = capsys.readouterr().out
+        assert "--shard 1/2 --journal-dir" in text
+        assert "--merge-only --journal-dir" in text
+        assert "--resume" in text
+        assert "orchestrate fig6a --shards" in text
+
+
 class TestExistingValidation:
     def test_resume_requires_journal(self, capsys):
         with pytest.raises(SystemExit):

@@ -1,0 +1,56 @@
+"""Docstring coverage for the runtime package's public API.
+
+CI enforces ruff's D1 (pydocstyle undocumented-*) rules for
+``src/repro/runtime/`` (see ``[tool.ruff.lint]`` in pyproject.toml); this
+test mirrors that contract with a plain ``ast`` walk so the guarantee also
+holds in environments where ruff is not installed — docstring coverage of
+the scaling API cannot regress in either place.
+"""
+
+import ast
+from pathlib import Path
+
+import pytest
+
+RUNTIME_DIR = Path(__file__).resolve().parents[2] / "src" / "repro" / "runtime"
+RUNTIME_MODULES = sorted(RUNTIME_DIR.glob("*.py"))
+
+
+def _is_public(name: str) -> bool:
+    # Dunders mirror the ruff config's D105/D107 ignores.
+    return not name.startswith("_")
+
+
+def _missing_docstrings(tree: ast.Module) -> list:
+    missing = []
+    if ast.get_docstring(tree) is None:
+        missing.append("module")
+
+    def visit(node, prefix: str, in_private_scope: bool) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                public = _is_public(child.name) and not in_private_scope
+                if public and ast.get_docstring(child) is None:
+                    missing.append(f"{prefix}{child.name} (line {child.lineno})")
+                visit(child, f"{prefix}{child.name}.", in_private_scope or not public)
+
+    visit(tree, "", False)
+    return missing
+
+
+@pytest.mark.parametrize(
+    "module_path", RUNTIME_MODULES, ids=[path.name for path in RUNTIME_MODULES]
+)
+def test_every_public_runtime_symbol_has_a_docstring(module_path):
+    tree = ast.parse(module_path.read_text(encoding="utf8"))
+    missing = _missing_docstrings(tree)
+    assert not missing, (
+        f"{module_path.relative_to(RUNTIME_DIR.parents[2])} has undocumented "
+        f"public symbols: {missing} — the runtime package is the public "
+        "scaling API; document them (ruff's D1 rules enforce the same in CI)"
+    )
+
+
+def test_runtime_package_is_nonempty():
+    """Guard the glob: an empty parametrization would silently pass."""
+    assert len(RUNTIME_MODULES) >= 8

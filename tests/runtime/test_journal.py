@@ -14,7 +14,13 @@ import pytest
 
 from repro.core.config import GridWorldScale
 from repro.runtime.cells import CampaignPlan, CellTask
-from repro.runtime.journal import FINGERPRINT_VERSION, CampaignJournal, plan_fingerprint
+from repro.runtime.journal import (
+    FINGERPRINT_VERSION,
+    CampaignJournal,
+    JournalProgress,
+    count_completed_cells,
+    plan_fingerprint,
+)
 from repro.runtime.residency import PolicyRef
 from repro.runtime.runner import CampaignRunner, CellExecutionError
 
@@ -314,6 +320,68 @@ class TestKeyNormalization:
         with path.open("a", encoding="utf8") as handle:
             handle.write('{"kind": "cell", "index": 1, "key": ["cell", 1], "output": 2.0}')
         assert CampaignJournal(path, plan).load() == {0: 0.0}
+
+
+class TestProgressProbes:
+    """The orchestrator's journal tailing: cheap, incremental, kill-tolerant."""
+
+    @staticmethod
+    def _cell_line(index: int) -> str:
+        return json.dumps({"kind": "cell", "index": index, "key": ["cell", index],
+                           "output": float(index)}) + "\n"
+
+    def test_count_ignores_missing_file_and_header(self, tmp_path):
+        path = tmp_path / "x.jsonl"
+        assert count_completed_cells(path) == 0
+        path.write_text(json.dumps({"kind": "header"}) + "\n" + self._cell_line(0))
+        assert count_completed_cells(path) == 1
+
+    def test_count_stops_at_partial_trailing_line(self, tmp_path):
+        path = tmp_path / "x.jsonl"
+        path.write_text(
+            json.dumps({"kind": "header"}) + "\n" + self._cell_line(0)
+            + '{"kind": "cell", "ind'  # unterminated mid-write tail
+        )
+        assert count_completed_cells(path) == 1
+
+    def test_incremental_probe_reads_only_new_bytes(self, tmp_path):
+        path = tmp_path / "x.jsonl"
+        progress = JournalProgress(path)
+        assert progress.poll() == 0  # file does not exist yet
+        path.write_text(json.dumps({"kind": "header"}) + "\n")
+        assert progress.poll() == 0
+        with path.open("a") as handle:
+            handle.write(self._cell_line(0))
+        assert progress.poll() == 1
+        # A partial trailing write is not counted until its newline lands.
+        with path.open("a") as handle:
+            handle.write('{"kind": "cell", "index": 1')
+        assert progress.poll() == 1
+        with path.open("a") as handle:
+            handle.write(', "key": ["cell", 1], "output": 1.0}\n')
+        assert progress.poll() == 2
+
+    def test_incremental_probe_rescans_after_truncation(self, tmp_path):
+        """A retry's resume truncates the partial tail (or rewrites the file
+        entirely); the prober must rescan instead of keeping a stale count."""
+        path = tmp_path / "x.jsonl"
+        progress = JournalProgress(path)
+        path.write_text(
+            json.dumps({"kind": "header"}) + "\n"
+            + self._cell_line(0) + self._cell_line(1) + self._cell_line(2)
+        )
+        assert progress.poll() == 3
+        path.write_text(json.dumps({"kind": "header"}) + "\n" + self._cell_line(0))
+        assert progress.poll() == 1
+
+    def test_incremental_probe_matches_one_shot_count(self, tmp_path):
+        path = tmp_path / "x.jsonl"
+        progress = JournalProgress(path)
+        path.write_text(json.dumps({"kind": "header"}) + "\n")
+        for index in range(7):
+            with path.open("a") as handle:
+                handle.write(self._cell_line(index))
+            assert progress.poll() == count_completed_cells(path) == index + 1
 
 
 class TestResume:

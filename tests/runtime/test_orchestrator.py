@@ -1,0 +1,329 @@
+"""Tests for the asyncio shard orchestrator.
+
+The failure paths are the point: a shard whose subprocess dies mid-run must be
+retried *with ``--resume``* (never recomputing journaled cells) and the merged
+payload must still byte-match the unsharded run; exhausted retries must
+surface a hard error naming the failing shard, with the structured report
+written for post-mortems either way.
+
+The hermetic tests drive synthetic plans through a small worker script (the
+plan fingerprint digests cell keys and kwargs, not the function object, so
+the parent's plan and the script's plan journal-match by construction).  The
+end-to-end test exercises the real CLI on fig6a at tiny scale — the
+acceptance criterion, mirrored by CI's ``orchestrate-identity`` job.
+"""
+
+import json
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.runtime.cells import CampaignPlan, CellTask
+from repro.runtime.cli import main
+from repro.runtime.orchestrator import (
+    OrchestratorError,
+    ShardOrchestrator,
+    render_k8s_manifest,
+    render_slurm_script,
+)
+from repro.runtime.runner import CampaignRunner
+
+_SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+#: Worker script emulating one shard "machine".  Behaviour knobs come through
+#: environment variables so the orchestrator's default env passthrough is the
+#: thing under test:
+#:   ORCH_TEST_CRASH_SHARD / ORCH_TEST_CRASH_MARKER — hard-exit (as if killed)
+#:     after journaling 2 cells, once, creating the marker file;
+#:   ORCH_TEST_FAIL_SHARD — exit 3 immediately, every attempt;
+#:   ORCH_TEST_STALL_SHARD — hang without journaling anything.
+_WORKER_SCRIPT = textwrap.dedent(
+    """
+    import os
+    import sys
+    import time
+
+    sys.path.insert(0, {src!r})
+
+    from repro.runtime.cells import CampaignPlan, CellTask
+    from repro.runtime.runner import CampaignRunner
+
+    shard, journal_dir = sys.argv[1], sys.argv[2]
+    resume = "--resume" in sys.argv[3:]
+    shard_index = shard.split("/")[0]
+
+    if os.environ.get("ORCH_TEST_FAIL_SHARD") == shard_index:
+        sys.stderr.write("synthetic shard failure\\n")
+        sys.exit(3)
+    if os.environ.get("ORCH_TEST_STALL_SHARD") == shard_index:
+        time.sleep(120)
+
+    marker = os.environ.get("ORCH_TEST_CRASH_MARKER", "")
+    crash = (
+        os.environ.get("ORCH_TEST_CRASH_SHARD") == shard_index
+        and marker
+        and not os.path.exists(marker)
+    )
+    state = {{"executed": 0}}
+
+    def cell(value):
+        state["executed"] += 1
+        if crash and state["executed"] > 2:
+            open(marker, "w").close()
+            os._exit(137)  # as if SIGKILLed mid-run
+        return value * 2.0
+
+    cells = [
+        CellTask("orch", ("cell", index), cell, {{"value": float(index)}})
+        for index in range(8)
+    ]
+    plan = CampaignPlan("orch", cells, merge=list)
+    runner = CampaignRunner(journal_dir=journal_dir, shard=shard, resume=resume)
+    runner.run_plan(plan, journal=runner.journal_for(plan))
+    """
+)
+
+
+def _double(value: float) -> float:
+    return value * 2.0
+
+
+def _plan(count: int = 8) -> CampaignPlan:
+    cells = [
+        CellTask("orch", ("cell", index), _double, {"value": float(index)})
+        for index in range(count)
+    ]
+    return CampaignPlan("orch", cells, merge=list)
+
+
+@pytest.fixture()
+def worker_script(tmp_path) -> Path:
+    script = tmp_path / "shard_worker.py"
+    script.write_text(_WORKER_SCRIPT.format(src=_SRC), encoding="utf8")
+    return script
+
+
+def _orchestrator(tmp_path, worker_script, **kwargs) -> ShardOrchestrator:
+    journal_dir = tmp_path / "journals"
+
+    def factory(spec, attempt_number, resume):
+        command = [sys.executable, str(worker_script), spec.describe(), str(journal_dir)]
+        if resume:
+            command.append("--resume")
+        return command
+
+    kwargs.setdefault("plan", _plan())
+    kwargs.setdefault("poll_interval", 0.05)
+    return ShardOrchestrator(
+        "orch",
+        kwargs.pop("shard_count", 2),
+        CampaignRunner(journal_dir=journal_dir),
+        command_factory=factory,
+        **kwargs,
+    )
+
+
+class TestKillRetryResume:
+    def test_killed_shard_retried_with_resume_merges_byte_identically(
+        self, tmp_path, worker_script, monkeypatch
+    ):
+        """The satellite criterion: shard 1's subprocess hard-exits after
+        journaling 2 of its 4 cells; the retry resumes from the journal and
+        the merged payload equals the unsharded run exactly."""
+        monkeypatch.setenv("ORCH_TEST_CRASH_SHARD", "1")
+        monkeypatch.setenv("ORCH_TEST_CRASH_MARKER", str(tmp_path / "crashed.marker"))
+        orchestrator = _orchestrator(tmp_path, worker_script, max_retries=1)
+        report = orchestrator.run()
+
+        assert report.merged
+        assert report.result == _plan().run_serial()
+
+        crashed, clean = report.outcomes
+        assert len(crashed.attempts) == 2
+        assert crashed.attempts[0].reason is not None
+        assert "exit status" in crashed.attempts[0].reason
+        # The first attempt journaled 2 cells before dying...
+        assert crashed.attempts[0].cells_completed == 2
+        # ...and the retry *resumed* from them instead of restarting.
+        assert crashed.attempts[1].resumed
+        assert crashed.attempts[1].reason is None
+        assert crashed.attempts[1].cells_completed == 4
+        assert len(clean.attempts) == 1
+
+    def test_report_written_for_post_mortems(self, tmp_path, worker_script, monkeypatch):
+        monkeypatch.setenv("ORCH_TEST_CRASH_SHARD", "1")
+        monkeypatch.setenv("ORCH_TEST_CRASH_MARKER", str(tmp_path / "crashed.marker"))
+        orchestrator = _orchestrator(tmp_path, worker_script, max_retries=1)
+        report = orchestrator.run()
+
+        assert report.path is not None and report.path.exists()
+        payload = json.loads(report.path.read_text())
+        assert payload["merged"] is True
+        assert payload["experiment_id"] == "orch"
+        assert payload["shard_count"] == 2
+        [shard1, shard2] = payload["shards"]
+        assert shard1["succeeded"] and shard2["succeeded"]
+        assert [attempt["resumed"] for attempt in shard1["attempts"]] == [False, True]
+        assert shard1["attempts"][0]["reason"]
+
+
+class TestInjectedKillDeterminism:
+    def test_injection_forces_a_resumed_retry_even_if_the_shard_finishes_first(
+        self, tmp_path, worker_script
+    ):
+        """The chaos hook must be deterministic: the hermetic worker's cells
+        are near-instant, so the subprocess often exits before a poll can
+        kill it — the first attempt is treated as failed regardless, and the
+        retry resumes a complete journal."""
+        orchestrator = _orchestrator(
+            tmp_path, worker_script, max_retries=1, inject_kill_shard=1
+        )
+        report = orchestrator.run()
+        assert report.merged
+        assert report.result == _plan().run_serial()
+        shard1 = report.outcomes[0]
+        assert len(shard1.attempts) == 2
+        assert "injected kill" in shard1.attempts[0].reason
+        assert shard1.attempts[1].resumed and shard1.attempts[1].reason is None
+
+
+class TestMergeFailure:
+    def test_merge_failure_still_writes_the_report(self, tmp_path, worker_script):
+        """Stale foreign shard journals in the shared store make merge_shards
+        raise after every shard succeeded; the post-mortem report must land
+        anyway, with the error naming the merge as the failing stage."""
+        journal_dir = tmp_path / "journals"
+        journal_dir.mkdir(parents=True)
+        # A leftover journal from an earlier 3-way partition of the same label.
+        (journal_dir / "orch.shard-1-of-3.jsonl").write_text('{"kind": "header"}\n')
+        orchestrator = _orchestrator(tmp_path, worker_script)
+        with pytest.raises(OrchestratorError, match="merging failed") as excinfo:
+            orchestrator.run()
+        report = excinfo.value.report
+        assert report is not None and not report.merged
+        assert report.path is not None and report.path.exists()
+        payload = json.loads(report.path.read_text())
+        assert payload["merged"] is False
+        assert all(shard["succeeded"] for shard in payload["shards"])
+
+
+class TestExhaustedRetries:
+    def test_exhausted_retries_name_the_failing_shard(
+        self, tmp_path, worker_script, monkeypatch
+    ):
+        monkeypatch.setenv("ORCH_TEST_FAIL_SHARD", "2")
+        orchestrator = _orchestrator(tmp_path, worker_script, max_retries=1)
+        with pytest.raises(OrchestratorError, match=r"shard\(s\) 2/2 .* failed after 2"):
+            orchestrator.run()
+
+    def test_failed_report_still_written_with_reasons(
+        self, tmp_path, worker_script, monkeypatch
+    ):
+        monkeypatch.setenv("ORCH_TEST_FAIL_SHARD", "2")
+        orchestrator = _orchestrator(tmp_path, worker_script, max_retries=1)
+        with pytest.raises(OrchestratorError) as excinfo:
+            orchestrator.run()
+        report = excinfo.value.report
+        assert report is not None and not report.merged
+        assert [spec.describe() for spec in report.failed_shards] == ["2/2"]
+        failing = report.outcomes[1]
+        assert len(failing.attempts) == 2  # max_retries=1 -> two attempts total
+        assert all(
+            "exit status 3: synthetic shard failure" in attempt.reason
+            for attempt in failing.attempts
+        )
+        payload = json.loads(report.path.read_text())
+        assert payload["merged"] is False
+        # The healthy shard's journal survives; only the failed one is missing.
+        assert payload["shards"][0]["succeeded"] is True
+
+    def test_stalled_shard_killed_and_reported(self, tmp_path, worker_script, monkeypatch):
+        monkeypatch.setenv("ORCH_TEST_STALL_SHARD", "2")
+        orchestrator = _orchestrator(
+            tmp_path, worker_script, max_retries=0, stall_timeout=0.3
+        )
+        with pytest.raises(OrchestratorError, match="stalled"):
+            orchestrator.run()
+
+
+class TestGuards:
+    def test_single_cell_plan_rejected(self, tmp_path, worker_script):
+        orchestrator = _orchestrator(tmp_path, worker_script, plan=_plan(count=1))
+        with pytest.raises(OrchestratorError, match="single-cell"):
+            orchestrator.run()
+
+    def test_requires_journal_dir(self):
+        with pytest.raises(Exception, match="journal"):
+            ShardOrchestrator("orch", 2, CampaignRunner())
+
+    def test_rejects_bad_shard_count_and_retries(self, tmp_path):
+        runner = CampaignRunner(journal_dir=tmp_path)
+        with pytest.raises(ValueError, match="shard count"):
+            ShardOrchestrator("orch", 0, runner)
+        with pytest.raises(ValueError, match="retries"):
+            ShardOrchestrator("orch", 2, runner, max_retries=-1)
+
+
+class TestClusterTemplates:
+    def test_slurm_template_renders_shard_commands(self):
+        script = render_slurm_script(
+            "fig6a", 16, journal_dir="/shared/journals", workers_per_shard=4,
+            shard_args=("--scale", "paper"),
+        )
+        assert "#SBATCH --array=1-16" in script
+        assert "#SBATCH --cpus-per-task=4" in script
+        assert "#SBATCH --requeue" in script
+        assert '--shard "${SLURM_ARRAY_TASK_ID}/16"' in script
+        assert "--scale paper" in script
+        assert "--resume" in script
+        assert "--merge-only" in script  # the post-array merge hint
+
+    def test_k8s_template_renders_indexed_job(self):
+        manifest = render_k8s_manifest(
+            "fig6a", 8, journal_dir="/shared/journals", workers_per_shard=2
+        )
+        assert "completionMode: Indexed" in manifest
+        assert "completions: 8" in manifest
+        assert "parallelism: 8" in manifest
+        assert '--shard "$((JOB_COMPLETION_INDEX + 1))/8"' in manifest
+        assert "--resume" in manifest
+        assert "persistentVolumeClaim" in manifest
+
+
+class TestOrchestrateCLIEndToEnd:
+    def test_fig6a_orchestrate_identity_with_injected_failure(
+        self, tmp_path, policy_cache
+    ):
+        """The acceptance criterion: ``orchestrate fig6a --shards 2`` with an
+        injected first-attempt kill of shard 1 produces a payload
+        byte-identical to the unsharded CLI run (CI's ``orchestrate-identity``
+        job runs the same flow from the shell)."""
+        cache = str(policy_cache.cache_dir)
+        single = tmp_path / "single"
+        orch = tmp_path / "orch"
+        journals = tmp_path / "journals"
+
+        assert main(
+            ["fig6a", "--scale", "tiny", "--cache-dir", cache, "--output", str(single)]
+        ) == 0
+        assert main(
+            [
+                "orchestrate", "fig6a", "--shards", "2", "--scale", "tiny",
+                "--cache-dir", cache, "--journal-dir", str(journals),
+                "--output", str(orch), "--inject-kill-shard", "1",
+                "--max-retries", "2", "--poll-interval", "0.1",
+            ]
+        ) == 0
+
+        assert (orch / "fig6a.json").read_bytes() == (single / "fig6a.json").read_bytes()
+        assert (orch / "fig6a.txt").read_bytes() == (single / "fig6a.txt").read_bytes()
+
+        report = json.loads((journals / "fig6a.orchestrator.json").read_text())
+        assert report["merged"] is True
+        shard1 = report["shards"][0]
+        # The injected kill forced at least one retry, and every retry resumed.
+        assert len(shard1["attempts"]) >= 2
+        assert all(attempt["resumed"] for attempt in shard1["attempts"][1:])
+        assert "injected kill" in shard1["attempts"][0]["reason"]

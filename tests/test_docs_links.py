@@ -1,0 +1,66 @@
+"""Internal-link integrity for the repo's markdown docs.
+
+CI's ``docs`` job runs this file on its own; it also rides along in tier-1.
+Every relative markdown link in README.md and docs/ must point at a file (or
+directory) that exists, and every intra-document anchor must match a heading
+— a renamed module or section breaks the build, not the reader.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+DOCUMENTS = sorted([REPO_ROOT / "README.md", *(REPO_ROOT / "docs").glob("*.md")])
+
+#: ``[text](target)`` — good enough for the plain markdown used here.
+_LINK_PATTERN = re.compile(r"\[[^\]]+\]\(([^)\s]+)\)")
+
+
+def _slugify(heading: str) -> str:
+    """GitHub's anchor scheme: lowercase, spaces to dashes, drop punctuation."""
+    slug = heading.strip().lower()
+    slug = re.sub(r"[^\w\- ]", "", slug)
+    return slug.replace(" ", "-")
+
+
+def _heading_slugs(markdown: str) -> set:
+    return {
+        _slugify(match.group(1))
+        for match in re.finditer(r"^#+\s+(.*)$", markdown, flags=re.MULTILINE)
+    }
+
+
+def test_docs_exist():
+    """The architecture doc is an acceptance criterion; fail loudly if gone."""
+    assert (REPO_ROOT / "docs" / "ARCHITECTURE.md").exists()
+    assert len(DOCUMENTS) >= 2
+
+
+@pytest.mark.parametrize(
+    "document", DOCUMENTS, ids=[str(path.relative_to(REPO_ROOT)) for path in DOCUMENTS]
+)
+def test_internal_links_resolve(document):
+    markdown = document.read_text(encoding="utf8")
+    broken = []
+    for match in _LINK_PATTERN.finditer(markdown):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        path_part, _, anchor = target.partition("#")
+        if path_part:
+            resolved = (document.parent / path_part).resolve()
+            if not resolved.exists():
+                broken.append(f"{target} (no such file: {resolved})")
+                continue
+            if anchor:
+                if resolved.suffix == ".md" and anchor not in _heading_slugs(
+                    resolved.read_text(encoding="utf8")
+                ):
+                    broken.append(f"{target} (no heading for anchor #{anchor})")
+        elif anchor and anchor not in _heading_slugs(markdown):
+            broken.append(f"{target} (no heading for anchor #{anchor})")
+    assert not broken, (
+        f"{document.relative_to(REPO_ROOT)} has broken internal links: {broken}"
+    )
