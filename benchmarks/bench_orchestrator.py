@@ -15,13 +15,17 @@ for the CLI.  The shard subprocesses rebuild the bench plan from this module
 parent's and the workers' plans journal-match by construction).
 """
 
+import asyncio
 import json
 import shutil
 import sys
 from pathlib import Path
 
+import pytest
+
 from benchmarks._common import BENCH_CACHE, BENCH_DRONE_SCALE, run_plan, save_result
 from repro.core.experiments.drone_training import drone_count_plan
+from repro.runtime.backends import LocalProcessBackend, SlurmBackend
 from repro.runtime.orchestrator import ShardOrchestrator
 from repro.runtime.runner import CampaignRunner
 
@@ -87,3 +91,38 @@ def test_fig6a_orchestrated(benchmark, tmp_path):
     save_result("fig6a_orchestrated", report.result)
     assert report.merged
     assert _payload(report.result) == _payload(reference)
+
+
+@pytest.mark.parametrize("backend_kind", ["local", "slurm-shim"])
+def test_backend_launch_overhead(benchmark, tmp_path, monkeypatch, backend_kind):
+    """Per-backend launch overhead: submit a no-op shard command, wait, reap.
+
+    This isolates what each execution backend adds *per attempt* on top of
+    the work — process spawn for ``local``; batch-script write, ``sbatch``
+    submit, ``squeue`` polling, and ``sacct`` reaping for the Slurm path
+    (measured against the ``tools/fake_slurm`` shim, so the number is the
+    protocol overhead, not a cluster's queue wait).  Tracked per backend in
+    the BENCH_*.json series so the orchestration-tax trend stays visible as
+    backends evolve.
+    """
+    monkeypatch.setenv("FAKE_SLURM_STATE", str(tmp_path / "slurm-state"))
+    if backend_kind == "local":
+        backend = LocalProcessBackend()
+    else:
+        backend = SlurmBackend(
+            bin_dir=Path(__file__).resolve().parents[1] / "tools" / "fake_slurm",
+            work_dir=tmp_path / "slurm-work",
+            poll_interval=0.02,
+        )
+    command = [sys.executable, "-c", "pass"]
+
+    def launch_and_reap():
+        async def cycle():
+            launch = await backend.launch(command)
+            returncode = await launch.wait()
+            await launch.close()
+            return returncode
+
+        assert asyncio.run(cycle()) == 0
+
+    benchmark.pedantic(launch_and_reap, rounds=5, iterations=1)

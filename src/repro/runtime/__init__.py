@@ -29,6 +29,16 @@ _LAZY_EXPORTS = {
     "JournalProgress": "repro.runtime.journal",
     "count_completed_cells": "repro.runtime.journal",
     "plan_fingerprint": "repro.runtime.journal",
+    "BackendError": "repro.runtime.backends",
+    "BackendScheduler": "repro.runtime.scheduler",
+    "BackendSpec": "repro.runtime.backends",
+    "ExecutionBackend": "repro.runtime.backends",
+    "LocalProcessBackend": "repro.runtime.backends",
+    "SSHBackend": "repro.runtime.backends",
+    "SlurmBackend": "repro.runtime.backends",
+    "build_backend": "repro.runtime.backends",
+    "build_backends": "repro.runtime.backends",
+    "shard_argv": "repro.runtime.backends",
     "OrchestratorError": "repro.runtime.orchestrator",
     "OrchestratorReport": "repro.runtime.orchestrator",
     "ShardOrchestrator": "repro.runtime.orchestrator",

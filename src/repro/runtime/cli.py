@@ -174,12 +174,23 @@ examples:
   # stalled shard (resuming from its journal) up to 2 times, then merge:
   repro-campaign orchestrate fig6a --shards 4 --workers-per-shard 2 --output results/
 
+  # mixed execution backends with capacity-aware scheduling: 2 shard slots on
+  # this machine, 4 over ssh, 16 as Slurm jobs; a failed shard retries on a
+  # *different* backend (--resume keeps its journaled cells either way):
+  repro-campaign orchestrate fig6a --shards 22 --journal-dir /shared/journals \\
+      --backend local:2 --backend ssh:4,host=node7 --backend slurm:16
+
+  # print the shard->backend assignment and exact commands, launch nothing:
+  repro-campaign orchestrate fig6a --shards 4 --journal-dir /shared/journals \\
+      --backend local:1 --backend slurm:3 --dry-run
+
   # don't run locally — render ready-to-submit cluster templates instead:
   repro-campaign orchestrate fig6a --shards 16 --journal-dir /shared/journals \\
       --emit-slurm fig6a.sbatch --emit-k8s fig6a.yaml
 
 The merged payload is byte-identical to an unsharded single-machine run; the
-per-shard attempt log lands in <journal-dir>/<label>.orchestrator.json.
+per-shard attempt log (including which backend ran each attempt) lands in
+<journal-dir>/<label>.orchestrator.json.
 """
 
 
@@ -297,6 +308,24 @@ def build_orchestrate_parser() -> argparse.ArgumentParser:
         "journaled a cell, forcing the retry+--resume path (CI uses this to "
         "prove the merged payload survives a mid-run kill)",
     )
+    parser.add_argument(
+        "--backend",
+        action="append",
+        dest="backends",
+        default=None,
+        metavar="NAME[:SLOTS][,KEY=VALUE...]",
+        help="execution backend for shard attempts, repeatable: local[:slots], "
+        "ssh[:slots],host=NODE, or slurm[:slots][,bin_dir=DIR][,poll=SECONDS]; "
+        "the scheduler assigns shards by free slots and a retry prefers a "
+        "different backend than the one that just failed "
+        "(default: one unbounded local backend)",
+    )
+    parser.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="print the resolved shard->backend assignment and the exact "
+        "per-shard commands, then exit without launching anything",
+    )
     return parser
 
 
@@ -320,6 +349,7 @@ def _shard_forwarded_args(args, include_workers: bool = True) -> list:
 
 def _orchestrate_main(argv: Sequence[str]) -> int:
     """Entry point for ``repro-campaign orchestrate ...``."""
+    from repro.runtime.backends import BackendError, build_backends
     from repro.runtime.orchestrator import (
         OrchestratorError,
         ShardOrchestrator,
@@ -341,6 +371,20 @@ def _orchestrate_main(argv: Sequence[str]) -> int:
         parser.error("--poll-interval must be > 0")
     if args.stall_timeout is not None and args.stall_timeout <= 0:
         parser.error("--stall-timeout must be > 0")
+    if args.inject_kill_shard is not None and not 1 <= args.inject_kill_shard <= args.shards:
+        parser.error(
+            f"--inject-kill-shard must name a shard in 1..{args.shards}, "
+            f"got {args.inject_kill_shard}"
+        )
+    if args.dry_run and (args.emit_slurm is not None or args.emit_k8s is not None):
+        parser.error(
+            "--dry-run and --emit-slurm/--emit-k8s are mutually exclusive: "
+            "a dry run writes nothing, template emission writes files"
+        )
+    try:
+        backends = build_backends(args.backends or ["local"])
+    except BackendError as error:
+        parser.error(f"invalid --backend: {error}")
     journal_dir = args.journal_dir
     if journal_dir is None and args.output is not None:
         journal_dir = args.output / "journals"
@@ -349,6 +393,21 @@ def _orchestrate_main(argv: Sequence[str]) -> int:
             "orchestration needs the shared journal store "
             "(give --journal-dir or --output)"
         )
+
+    if args.dry_run:
+        # The dry run builds no plan (so trains no baselines) and touches no
+        # disk: it resolves backend specs, previews the scheduler's
+        # assignment, and prints the exact argv each shard would launch.
+        orchestrator = ShardOrchestrator(
+            args.experiment,
+            args.shards,
+            CampaignRunner(journal_dir=journal_dir),
+            backends=backends,
+            shard_args=_shard_forwarded_args(args),
+            max_retries=args.max_retries,
+        )
+        print(orchestrator.render_dry_run(), flush=True)
+        return 0
 
     if args.emit_slurm is not None or args.emit_k8s is not None:
         # Template emission renders the commands a real scheduler would run;
@@ -389,6 +448,7 @@ def _orchestrate_main(argv: Sequence[str]) -> int:
         args.experiment,
         args.shards,
         runner,
+        backends=backends,
         shard_args=_shard_forwarded_args(args),
         max_retries=args.max_retries,
         stall_timeout=args.stall_timeout,

@@ -6,26 +6,36 @@ start every shard, notice when one died, rerun it, and merge.  This module is
 that missing layer.  :class:`ShardOrchestrator` drives a whole sharded
 campaign from one process:
 
-* each shard runs as a ``repro-campaign <id> --shard k/n`` **subprocess**
-  (``asyncio.create_subprocess_exec``), all shards concurrently;
+* each shard runs as a ``repro-campaign <id> --shard k/n`` attempt launched
+  through an :class:`~repro.runtime.backends.ExecutionBackend` — a local
+  subprocess by default, a remote host over SSH, or a Slurm job — with the
+  :class:`~repro.runtime.scheduler.BackendScheduler` assigning attempts to
+  backends by declared slot capacity and queueing shards when every backend
+  is saturated;
 * the orchestrator **tails the shard journal files** (they are the single
   source of truth for progress — the same property that makes them the
-  multi-machine wire format) and reports live per-shard cell counts;
-* a shard whose subprocess exits non-zero, stalls (no journal progress for
-  ``stall_timeout`` seconds), or is killed is **retried with ``--resume``** up
-  to ``max_retries`` times — resuming from its journal, never restarting the
-  completed cells;
+  multi-machine wire format, and the only thing backends must share: a
+  filesystem) and reports live per-shard cell counts;
+* a shard whose attempt exits non-zero, stalls (no journal progress for
+  ``stall_timeout`` seconds), or is killed is **retried with ``--resume``**
+  up to ``max_retries`` times — resuming from its journal, never restarting
+  the completed cells, and **failing over to a different backend** than the
+  one that just failed whenever more than one backend is configured;
 * when every shard has succeeded, the orchestrator runs
   :meth:`~repro.runtime.runner.CampaignRunner.merge_shards`, producing a
-  payload **byte-identical** to a single-machine run;
+  payload **byte-identical** to a single-machine run whatever the backend
+  mix;
 * a structured :class:`OrchestratorReport` (per-shard attempts, durations,
-  retry reasons) is written into the journal directory for post-mortems.
+  retry reasons, and which backend ran each attempt) is written into the
+  journal directory for post-mortems.
 
-For real clusters the orchestrator does not pretend to be a scheduler:
-:func:`render_slurm_script` and :func:`render_k8s_manifest` emit
+For clusters the orchestrator does not manage itself,
+:func:`~repro.runtime.backends.render_slurm_script` and
+:func:`~repro.runtime.backends.render_k8s_manifest` (re-exported here) emit
 ready-to-submit Slurm array-job / Kubernetes indexed-Job templates whose
-array tasks run exactly the same ``--shard k/n --resume`` commands, so the
-scheduler's own requeue machinery resumes from the journals too.
+array tasks run exactly the same ``--shard k/n --resume`` commands — built by
+the same :func:`~repro.runtime.backends.shard_argv` the orchestrator launches
+— so the scheduler's own requeue machinery resumes from the journals too.
 
 The orchestrator deliberately reuses :class:`~repro.runtime.sharding.ShardSpec`
 and ``merge_shards`` — it introduces no second partitioning scheme, only a
@@ -43,8 +53,17 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, List, Optional, Sequence
 
+from repro.runtime.backends import (
+    ExecutionBackend,
+    LocalProcessBackend,
+    ShardLaunch,  # noqa: F401  (re-exported for backend implementers)
+    render_k8s_manifest,  # noqa: F401  (re-exported; CLI and tests import from here)
+    render_slurm_script,  # noqa: F401  (re-exported; CLI and tests import from here)
+    shard_argv,
+)
 from repro.runtime.journal import JournalProgress
 from repro.runtime.runner import CampaignError, CampaignRunner
+from repro.runtime.scheduler import BackendScheduler
 from repro.runtime.sharding import ShardSpec
 from repro.utils.serialization import save_json
 
@@ -64,12 +83,14 @@ class OrchestratorError(CampaignError):
 
 @dataclass(frozen=True)
 class ShardAttempt:
-    """One subprocess attempt at running a shard.
+    """One backend attempt at running a shard.
 
     ``reason`` is ``None`` for a successful attempt; otherwise it names why
     the attempt failed ("exit status 1: ...", "stalled: ...", an injected
     kill).  ``resumed`` records whether ``--resume`` was passed, i.e. whether
     the attempt continued from the shard journal instead of restarting.
+    ``backend`` names the execution backend that ran the attempt — after a
+    backend failover, consecutive attempts carry different names.
     """
 
     number: int
@@ -78,6 +99,7 @@ class ShardAttempt:
     cells_completed: int
     resumed: bool
     reason: Optional[str]
+    backend: Optional[str] = None
 
     def as_dict(self) -> dict:
         """JSON-serializable form for the orchestrator report."""
@@ -88,6 +110,7 @@ class ShardAttempt:
             "cells_completed": self.cells_completed,
             "resumed": self.resumed,
             "reason": self.reason,
+            "backend": self.backend,
         }
 
 
@@ -125,10 +148,10 @@ class OrchestratorReport:
 
     Written as ``<label>.orchestrator.json`` into the journal directory
     whether the campaign merged or failed, so "why did shard 3 take four
-    attempts last night" has an answer that outlives the terminal scrollback.
-    The merged result object (when ``merged``) is on :attr:`result`; it is
-    not serialized into the report — the campaign's own ``--output`` files
-    hold the payload.
+    attempts last night" — and "which backend did each attempt land on" —
+    have answers that outlive the terminal scrollback.  The merged result
+    object (when ``merged``) is on :attr:`result`; it is not serialized into
+    the report — the campaign's own ``--output`` files hold the payload.
     """
 
     experiment_id: str
@@ -136,6 +159,7 @@ class OrchestratorReport:
     cell_count: int
     max_retries: int
     outcomes: List[ShardOutcome]
+    backends: List[str] = field(default_factory=list)
     merged: bool = False
     duration_seconds: float = 0.0
     result: Optional[object] = None
@@ -153,6 +177,7 @@ class OrchestratorReport:
             "shard_count": self.shard_count,
             "cell_count": self.cell_count,
             "max_retries": self.max_retries,
+            "backends": list(self.backends),
             "merged": self.merged,
             "duration_seconds": round(self.duration_seconds, 3),
             "shards": [outcome.as_dict() for outcome in self.outcomes],
@@ -165,46 +190,57 @@ class OrchestratorReport:
             f"{self.cell_count} cells in {self.duration_seconds:.1f}s — "
             + ("merged" if self.merged else "NOT merged")
         ]
+        if self.backends:
+            lines.append(f"  backends: {', '.join(self.backends)}")
         for outcome in self.outcomes:
             status = "ok" if outcome.succeeded else "FAILED"
             detail = ""
             reasons = [a.reason for a in outcome.attempts if a.reason is not None]
             if reasons:
                 detail = f" (failed attempts: {'; '.join(reasons)})"
+            via = sorted({a.backend for a in outcome.attempts if a.backend})
+            via_text = f" via {', '.join(via)}" if via else ""
             lines.append(
                 f"  shard {outcome.shard.describe()}: {status} after "
                 f"{len(outcome.attempts)} attempt(s), "
-                f"{outcome.assigned_cells} cell(s){detail}"
+                f"{outcome.assigned_cells} cell(s){via_text}{detail}"
             )
         return "\n".join(lines)
 
 
-#: Signature of the testing hook that overrides shard subprocess commands:
+#: Signature of the testing hook that overrides shard attempt commands:
 #: ``(spec, attempt_number, resume) -> argv``.
 CommandFactory = Callable[[ShardSpec, int, bool], Sequence[str]]
 
 
 class ShardOrchestrator:
-    """Asyncio driver for an ``n``-way sharded campaign on this machine.
+    """Asyncio driver for an ``n``-way sharded campaign over pluggable backends.
 
     Parameters
     ----------
     experiment_id:
         The registered artifact to run (must decompose into >1 cell).
     shard_count:
-        How many ``--shard k/n`` subprocesses to run (all concurrently).
+        How many ``--shard k/n`` attempts to drive (concurrency is bounded
+        only by the backends' declared slots).
     runner:
         A :class:`~repro.runtime.runner.CampaignRunner` with ``journal_dir``
         set to the shared journal store.  The orchestrator uses it to build
         the plan **in the parent process** — which trains or loads any missing
         pretrained baselines *before* the shards launch, so concurrent
-        subprocesses never race to train the same baseline — and to
+        attempts never race to train the same baseline — and to
         ``merge_shards`` at the end.
+    backends:
+        The :class:`~repro.runtime.backends.ExecutionBackend` roster shard
+        attempts are scheduled onto.  Defaults to one unbounded
+        :class:`~repro.runtime.backends.LocalProcessBackend` — exactly the
+        pre-backend behaviour of running every shard as a concurrent local
+        subprocess.
     plan:
         Optional pre-built :class:`~repro.runtime.cells.CampaignPlan`
         (testing hook; defaults to ``runner.plan(experiment_id)``).
     shard_args:
-        Extra CLI arguments forwarded verbatim to every shard subprocess
+        Extra CLI arguments forwarded verbatim to every shard attempt
         (``--scale``, ``--seed``, ``--cache-dir``, ``--workers``, ...).
     max_retries:
         How many times a failed or stalled shard is retried (with
@@ -215,13 +251,13 @@ class ShardOrchestrator:
     poll_interval:
         How often (seconds) shard journals are polled for progress.
     inject_kill_shard:
-        Chaos-testing hook: SIGKILL this shard's *first* attempt as soon as
-        its journal holds at least one cell.  CI uses it to prove the
-        kill → retry → ``--resume`` → byte-identical-merge path on a real
-        artifact.
+        Chaos-testing hook: kill this shard's *first* attempt as soon as its
+        journal holds at least one cell.  CI uses it to prove the
+        kill → retry → ``--resume`` → byte-identical-merge path (and, with
+        multiple backends, the backend-failover path) on a real artifact.
     command_factory:
         Testing hook replacing the default ``repro-campaign <id> --shard k/n``
-        subprocess command.
+        attempt command.
     on_event:
         Callback receiving human-readable progress lines (``None`` = silent).
     """
@@ -232,6 +268,7 @@ class ShardOrchestrator:
         shard_count: int,
         runner: CampaignRunner,
         *,
+        backends: Optional[Sequence[ExecutionBackend]] = None,
         plan=None,
         shard_args: Sequence[str] = (),
         max_retries: int = 2,
@@ -259,6 +296,7 @@ class ShardOrchestrator:
         self.shard_count = int(shard_count)
         self.runner = runner
         self.journal_dir = runner.journal_dir
+        self.backends: List[ExecutionBackend] = list(backends or [LocalProcessBackend()])
         self._plan = plan
         self.shard_args = list(shard_args)
         self.max_retries = int(max_retries)
@@ -268,6 +306,9 @@ class ShardOrchestrator:
         self.command_factory = command_factory
         self.on_event = on_event
         self.python_executable = python_executable or sys.executable
+        for backend in self.backends:
+            backend.prepare(self.journal_dir)
+        self.scheduler = BackendScheduler(self.backends)
 
     # ------------------------------------------------------------------- plan
     @property
@@ -275,7 +316,7 @@ class ShardOrchestrator:
         """The campaign plan, built once in the parent process.
 
         Building the plan trains (or cache-loads) every pretrained baseline
-        *before* any shard subprocess starts — the shards then find a warm
+        *before* any shard attempt starts — the attempts then find a warm
         cache instead of racing each other to train the same policy.
         """
         if self._plan is None:
@@ -287,32 +328,72 @@ class ShardOrchestrator:
         return [ShardSpec(index, self.shard_count) for index in range(1, self.shard_count + 1)]
 
     # --------------------------------------------------------------- commands
-    def shard_command(self, spec: ShardSpec, attempt_number: int, resume: bool) -> List[str]:
-        """The argv for one shard attempt's subprocess.
+    def shard_command(
+        self,
+        spec: ShardSpec,
+        attempt_number: int,
+        resume: bool,
+        backend: Optional[ExecutionBackend] = None,
+    ) -> List[str]:
+        """The argv for one shard attempt.
 
         The default command is the public CLI itself — ``repro-campaign
-        <id> --shard k/n --journal-dir ...`` — so an orchestrated shard is
-        bit-for-bit the same run a human (or Slurm/Kubernetes) would launch.
+        <id> --shard k/n --journal-dir ...``, built by the shared
+        :func:`~repro.runtime.backends.shard_argv` — so an orchestrated shard
+        is bit-for-bit the same run a human (or a rendered Slurm/Kubernetes
+        template) would launch.  The program prefix defaults to this
+        process's own interpreter; a backend that executes on a different
+        machine overrides it via
+        :meth:`~repro.runtime.backends.ExecutionBackend.shard_program` (the
+        local ``sys.executable`` path would not exist over SSH).
         """
         if self.command_factory is not None:
             return list(self.command_factory(spec, attempt_number, resume))
-        command = [
-            self.python_executable,
-            "-m",
-            "repro.runtime.cli",
+        program: Sequence[str] = (self.python_executable, "-m", "repro.runtime.cli")
+        if backend is not None:
+            override = backend.shard_program()
+            if override:
+                program = override
+        return shard_argv(
             self.experiment_id,
-            "--shard",
             spec.describe(),
-            "--journal-dir",
-            str(self.journal_dir),
-            *self.shard_args,
+            self.journal_dir,
+            shard_args=self.shard_args,
+            resume=resume,
+            program=program,
+        )
+
+    def render_dry_run(self) -> str:
+        """The resolved shard→backend assignment and exact per-shard commands.
+
+        Launches nothing and builds no plan (so no baseline training) —
+        the cheapest way to eyeball ``--backend`` spec parsing and the
+        scheduler's first-attempt placement before committing a cluster.
+        """
+        assignments = self.scheduler.plan_assignments(self.shard_count)
+        total = self.scheduler.total_slots
+        lines = [
+            f"{self.experiment_id}: {self.shard_count} shard(s) over backends "
+            f"{self.scheduler.describe()}"
         ]
-        if resume:
-            command.append("--resume")
-        return command
+        for spec, backend in zip(self.shard_specs(), assignments):
+            command = self.shard_command(spec, 1, False, backend)
+            lines.append(
+                f"  shard {spec.describe()} -> {backend.name}: "
+                + " ".join(shlex.quote(part) for part in command)
+            )
+        if total is not None and self.shard_count > total:
+            lines.append(
+                f"  note: {self.shard_count} shard(s) over {total} total slot(s) — "
+                f"{self.shard_count - total} shard(s) queue until a slot frees; "
+                "assignments beyond the first wave assume shards finish in "
+                "launch order"
+            )
+        lines.append("dry run: nothing launched")
+        return "\n".join(lines)
 
     def _subprocess_env(self) -> dict:
-        """Environment for shard subprocesses (repro importable without install)."""
+        """Environment for shard attempts (repro importable without install)."""
         env = dict(os.environ)
         src_root = str(Path(__file__).resolve().parents[2])
         existing = env.get("PYTHONPATH")
@@ -348,6 +429,7 @@ class ShardOrchestrator:
                 f"note: {self.shard_count} shards over {plan.cell_count} cells — "
                 f"{self.shard_count - plan.cell_count} shard(s) will own no cells"
             )
+        self._emit(f"backends: {self.scheduler.describe()}")
         started = time.monotonic()
         outcomes = await asyncio.gather(
             *(self._drive_shard(spec) for spec in self.shard_specs())
@@ -358,6 +440,7 @@ class ShardOrchestrator:
             cell_count=plan.cell_count,
             max_retries=self.max_retries,
             outcomes=list(outcomes),
+            backends=[backend.describe() for backend in self.backends],
         )
         failed = report.failed_shards
         merge_error: Optional[Exception] = None
@@ -394,32 +477,44 @@ class ShardOrchestrator:
         return report
 
     async def _drive_shard(self, spec: ShardSpec) -> ShardOutcome:
-        """Run one shard to success or retry exhaustion."""
+        """Run one shard to success or retry exhaustion, failing over backends."""
         journal_path = spec.journal_path(self.journal_dir, self.experiment_id)
         outcome = ShardOutcome(
             shard=spec,
             assigned_cells=len(spec.cell_indices(self.plan.cell_count)),
         )
         total = self.max_retries + 1
+        failed_backend: Optional[ExecutionBackend] = None
         for number in range(1, total + 1):
             # First attempts resume too when a journal is already on disk —
             # e.g. a previous orchestrate run that died; completed cells are
             # never re-executed.
             resume = number > 1 or journal_path.exists()
-            attempt = await self._attempt(spec, number, journal_path, resume)
+            if not self.scheduler.has_free_slot(avoid=failed_backend):
+                self._emit(
+                    f"shard {spec.describe()}: queued — waiting for a free "
+                    "backend slot"
+                )
+            backend = await self.scheduler.acquire(avoid=failed_backend)
+            try:
+                attempt = await self._attempt(spec, number, journal_path, resume, backend)
+            finally:
+                await self.scheduler.release(backend)
             outcome.attempts.append(attempt)
             if attempt.reason is None:
                 self._emit(
-                    f"shard {spec.describe()}: done — "
+                    f"shard {spec.describe()}: done on {backend.name} — "
                     f"{attempt.cells_completed}/{outcome.assigned_cells} cells "
                     f"journaled in {attempt.duration_seconds:.1f}s "
                     f"(attempt {number}/{total})"
                 )
                 break
+            failed_backend = backend
             if number < total:
+                failover = " on a different backend" if len(self.backends) > 1 else ""
                 self._emit(
-                    f"shard {spec.describe()}: attempt {number} failed "
-                    f"({attempt.reason}); retrying with --resume "
+                    f"shard {spec.describe()}: attempt {number} on {backend.name} "
+                    f"failed ({attempt.reason}); retrying with --resume{failover} "
                     f"(attempt {number + 1}/{total})"
                 )
             else:
@@ -430,80 +525,106 @@ class ShardOrchestrator:
         return outcome
 
     async def _attempt(
-        self, spec: ShardSpec, number: int, journal_path: Path, resume: bool
+        self,
+        spec: ShardSpec,
+        number: int,
+        journal_path: Path,
+        resume: bool,
+        backend: ExecutionBackend,
     ) -> ShardAttempt:
-        """One subprocess attempt: spawn, tail the journal, decide the outcome."""
-        command = self.shard_command(spec, number, resume)
+        """One attempt: launch on ``backend``, tail the journal, decide the outcome."""
+        command = self.shard_command(spec, number, resume, backend)
         self._emit(
-            f"shard {spec.describe()}: attempt {number} starting — "
+            f"shard {spec.describe()}: attempt {number} starting on {backend.name} — "
             + " ".join(shlex.quote(part) for part in command)
         )
         started = time.monotonic()
-        process = await asyncio.create_subprocess_exec(
-            *command,
-            stdout=asyncio.subprocess.DEVNULL,
-            stderr=asyncio.subprocess.PIPE,
-            env=self._subprocess_env(),
-        )
-        # Drain stderr concurrently so a chatty shard can never fill the pipe
-        # and deadlock against our poll loop.
-        stderr_task = asyncio.ensure_future(process.stderr.read())
-        wait_task = asyncio.ensure_future(process.wait())
-        kill_reason: Optional[str] = None
         progress = JournalProgress(journal_path)
+        try:
+            launch = await backend.launch(command, env=self._subprocess_env())
+        except Exception as error:
+            return ShardAttempt(
+                number=number,
+                duration_seconds=time.monotonic() - started,
+                returncode=None,
+                cells_completed=progress.poll(),
+                resumed=resume,
+                reason=f"backend {backend.name} failed to launch: {error}",
+                backend=backend.name,
+            )
+        wait_task = asyncio.ensure_future(launch.wait())
+        kill_reason: Optional[str] = None
+        tracking_error: Optional[Exception] = None
+        returncode: Optional[int] = None
+        stderr_text = ""
         cells = progress.poll()
         last_change = time.monotonic()
         try:
-            while True:
-                done, _ = await asyncio.wait({wait_task}, timeout=self.poll_interval)
-                now = time.monotonic()
-                current = progress.poll()
-                if current != cells:
-                    cells = current
-                    last_change = now
-                    self._emit(
-                        f"shard {spec.describe()}: {cells} cell(s) journaled "
-                        f"(attempt {number})"
-                    )
-                if wait_task in done:
-                    break
-                if kill_reason is None:
-                    if (
-                        self.inject_kill_shard == spec.index
-                        and number == 1
-                        and cells >= 1
-                    ):
-                        kill_reason = (
-                            "injected kill (--inject-kill-shard chaos hook, "
-                            "first attempt)"
-                        )
-                    elif (
-                        self.stall_timeout is not None
-                        and now - last_change > self.stall_timeout
-                    ):
-                        kill_reason = (
-                            f"stalled: no journal progress for more than "
-                            f"{self.stall_timeout:.0f}s"
-                        )
-                    if kill_reason is not None:
+            try:
+                while True:
+                    done, _ = await asyncio.wait({wait_task}, timeout=self.poll_interval)
+                    now = time.monotonic()
+                    current = progress.poll()
+                    if current != cells:
+                        cells = current
+                        last_change = now
                         self._emit(
-                            f"shard {spec.describe()}: killing attempt {number} — "
-                            f"{kill_reason}"
+                            f"shard {spec.describe()}: {cells} cell(s) journaled "
+                            f"(attempt {number} on {backend.name})"
                         )
-                        process.kill()
-            returncode = wait_task.result()
-            stderr_text = (await stderr_task).decode("utf8", errors="replace")
+                    if wait_task in done:
+                        break
+                    if kill_reason is None:
+                        if (
+                            self.inject_kill_shard == spec.index
+                            and number == 1
+                            and cells >= 1
+                        ):
+                            kill_reason = (
+                                "injected kill (--inject-kill-shard chaos hook, "
+                                "first attempt)"
+                            )
+                        elif (
+                            self.stall_timeout is not None
+                            and now - last_change > self.stall_timeout
+                        ):
+                            kill_reason = (
+                                f"stalled: no journal progress for more than "
+                                f"{self.stall_timeout:.0f}s"
+                            )
+                        if kill_reason is not None:
+                            self._emit(
+                                f"shard {spec.describe()}: killing attempt {number} — "
+                                f"{kill_reason}"
+                            )
+                            launch.kill()
+                returncode = wait_task.result()
+                stderr_text = await launch.stderr()
+            except asyncio.CancelledError:
+                raise
+            except Exception as error:
+                # A backend that fails while *tracking* the attempt (squeue
+                # binary missing mid-poll, transient OSError, ...) is a
+                # failed attempt that should retry/fail over — never a crash
+                # of the whole orchestration with no report.
+                tracking_error = error
         finally:
             # Never orphan a shard: on cancellation (Ctrl+C) or any monitor
-            # error, the subprocess dies with the orchestrator.  Awaiting the
-            # tasks (rather than cancelling them) lets the event loop reap
-            # the killed child and close its pipes cleanly.
-            if process.returncode is None:
-                process.kill()
-            await asyncio.gather(wait_task, stderr_task, return_exceptions=True)
+            # error, the attempt dies with the orchestrator.  close() awaits
+            # (rather than cancels) the backend's reaping, so killed children
+            # and their pipes are collected cleanly.
+            if not launch.finished:
+                launch.kill()
+            await asyncio.gather(wait_task, return_exceptions=True)
+            await launch.close()
         duration = time.monotonic() - started
         cells = progress.poll()
-        if returncode == 0 and kill_reason is None:
+        if tracking_error is not None:
+            reason: Optional[str] = (
+                f"backend {backend.name} failed while tracking the attempt: "
+                f"{tracking_error}"
+            )
+        elif returncode == 0 and kill_reason is None:
             if self.inject_kill_shard == spec.index and number == 1:
                 # The shard finished between polls, before the kill could
                 # land.  Treat the attempt as failed anyway so the chaos hook
@@ -531,104 +652,5 @@ class ShardOrchestrator:
             cells_completed=cells,
             resumed=resume,
             reason=reason,
+            backend=backend.name,
         )
-
-
-# ------------------------------------------------------------------ templates
-def _shard_extra(shard_args: Sequence[str]) -> str:
-    """Render forwarded shard CLI arguments for a shell template."""
-    return " ".join(shlex.quote(str(arg)) for arg in shard_args)
-
-
-def render_slurm_script(
-    experiment_id: str,
-    shard_count: int,
-    *,
-    journal_dir,
-    workers_per_shard: int = 1,
-    shard_args: Sequence[str] = (),
-    time_limit: str = "04:00:00",
-) -> str:
-    """A ready-to-submit Slurm array-job script for an ``n``-way sharded run.
-
-    Each array task runs one ``--shard k/n --resume`` invocation — the same
-    command the local orchestrator spawns — so Slurm's own ``--requeue``
-    machinery resumes a preempted shard from its journal.  Merge afterwards
-    with ``--merge-only`` from any node that sees ``journal_dir``.
-    """
-    extra = _shard_extra(shard_args)
-    extra = f" {extra}" if extra else ""
-    return f"""#!/bin/bash
-#SBATCH --job-name=frlfi-{experiment_id}
-#SBATCH --array=1-{shard_count}
-#SBATCH --ntasks=1
-#SBATCH --cpus-per-task={workers_per_shard}
-#SBATCH --time={time_limit}
-#SBATCH --requeue
-# One array task per shard; --resume makes a requeued task continue from its
-# journal in the shared store instead of recomputing finished cells.
-repro-campaign {experiment_id} \\
-  --shard "${{SLURM_ARRAY_TASK_ID}}/{shard_count}" \\
-  --journal-dir {shlex.quote(str(journal_dir))} \\
-  --workers {workers_per_shard}{extra} --resume
-
-# After the whole array completes, merge from any node:
-#   repro-campaign {experiment_id} --merge-only \\
-#     --journal-dir {shlex.quote(str(journal_dir))} --output results/
-"""
-
-
-def render_k8s_manifest(
-    experiment_id: str,
-    shard_count: int,
-    *,
-    journal_dir,
-    workers_per_shard: int = 1,
-    shard_args: Sequence[str] = (),
-    image: str = "frl-fi-repro:latest",
-    journal_claim: str = "frlfi-journals",
-) -> str:
-    """A ready-to-submit Kubernetes indexed-Job manifest for a sharded run.
-
-    ``completionMode: Indexed`` gives each pod a ``JOB_COMPLETION_INDEX``
-    which maps to ``--shard $((index+1))/n``; ``restartPolicy: OnFailure``
-    plus ``--resume`` means a rescheduled pod continues from its shard
-    journal on the shared volume (``journal_claim``).  Merge afterwards with
-    ``--merge-only`` from any pod mounting the same volume.
-    """
-    extra = _shard_extra(shard_args)
-    extra = f" {extra}" if extra else ""
-    shard_command = (
-        f"repro-campaign {experiment_id}"
-        f' --shard "$((JOB_COMPLETION_INDEX + 1))/{shard_count}"'
-        f" --journal-dir {shlex.quote(str(journal_dir))}"
-        f" --workers {workers_per_shard}{extra} --resume"
-    )
-    return f"""apiVersion: batch/v1
-kind: Job
-metadata:
-  name: frlfi-{experiment_id}
-spec:
-  completions: {shard_count}
-  parallelism: {shard_count}
-  completionMode: Indexed
-  backoffLimit: {shard_count * 3}
-  template:
-    spec:
-      restartPolicy: OnFailure
-      containers:
-        - name: shard
-          image: {image}
-          command: ["/bin/sh", "-c"]
-          args:
-            - {shard_command}
-          volumeMounts:
-            - name: journals
-              mountPath: {journal_dir}
-      volumes:
-        - name: journals
-          persistentVolumeClaim:
-            claimName: {journal_claim}
-# After the Job completes, merge from any pod mounting the journal volume:
-#   repro-campaign {experiment_id} --merge-only --journal-dir {journal_dir} --output results/
-"""

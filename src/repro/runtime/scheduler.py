@@ -1,0 +1,130 @@
+"""Capacity-aware assignment of shard attempts to execution backends.
+
+The orchestrator runs every shard concurrently, but backends declare how
+many attempts they can hold (``ExecutionBackend.slots``).
+:class:`BackendScheduler` is the admission controller in between:
+
+* :meth:`~BackendScheduler.acquire` hands out one slot, preferring the
+  backend with the most free capacity (ties broken by declaration order, so
+  ``--backend`` order is meaningful); when every backend is saturated the
+  caller queues on an ``asyncio.Condition`` until a slot frees;
+* **backend failover** — ``acquire(avoid=backend)`` is how retries steer
+  away from the backend whose attempt just failed: the scheduler *never*
+  hands back the avoided backend while other backends are configured, even
+  if that means waiting for one of their slots (a failed backend may be a
+  failed machine).  With a single backend configured there is nowhere else
+  to go and the avoided backend is reused;
+* :meth:`~BackendScheduler.plan_assignments` computes the deterministic
+  assignment preview shown by ``orchestrate --dry-run`` — the assignment the
+  live scheduler would make if shards completed in launch order.
+
+The scheduler assigns *attempts*, not cells: partitioning stays
+``ShardSpec``'s job and merging stays ``merge_shards``'s, so capacity
+decisions can never affect which cells run or what the merged payload holds.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+from collections import deque
+from typing import Dict, List, Optional, Sequence
+
+from repro.runtime.backends import ExecutionBackend
+
+
+class BackendScheduler:
+    """Slot accounting and saturation queueing over a roster of backends."""
+
+    def __init__(self, backends: Sequence[ExecutionBackend]) -> None:
+        if not backends:
+            raise ValueError("scheduler needs at least one backend")
+        self._backends: List[ExecutionBackend] = list(backends)
+        self._in_use: Dict[int, int] = {id(backend): 0 for backend in self._backends}
+        self._condition = asyncio.Condition()
+
+    @property
+    def backends(self) -> List[ExecutionBackend]:
+        """The backend roster, in declaration (CLI) order."""
+        return list(self._backends)
+
+    @property
+    def total_slots(self) -> Optional[int]:
+        """Total declared capacity, or ``None`` if any backend is unbounded."""
+        if any(backend.slots is None for backend in self._backends):
+            return None
+        return sum(backend.slots for backend in self._backends)
+
+    def describe(self) -> str:
+        """One-line roster summary for progress output."""
+        return ", ".join(backend.describe() for backend in self._backends)
+
+    # ------------------------------------------------------------- accounting
+    def free_slots(self, backend: ExecutionBackend) -> float:
+        """Free capacity of ``backend`` (``math.inf`` when unbounded)."""
+        if backend.slots is None:
+            return math.inf
+        return backend.slots - self._in_use[id(backend)]
+
+    def _pick(self, avoid: Optional[ExecutionBackend]) -> Optional[ExecutionBackend]:
+        """The backend a new attempt should run on right now, or ``None``.
+
+        Most-free-slots wins; ties go to declaration order.  ``avoid`` is
+        excluded whenever any other backend exists (saturated or not) — the
+        caller waits for one of the others instead of landing back on the
+        backend that just failed the shard.
+        """
+        candidates = [backend for backend in self._backends if self.free_slots(backend) > 0]
+        if avoid is not None and len(self._backends) > 1:
+            candidates = [backend for backend in candidates if backend is not avoid]
+        if not candidates:
+            return None
+        return max(candidates, key=self.free_slots)
+
+    def has_free_slot(self, *, avoid: Optional[ExecutionBackend] = None) -> bool:
+        """Whether :meth:`acquire` would currently return without waiting."""
+        return self._pick(avoid) is not None
+
+    async def acquire(self, *, avoid: Optional[ExecutionBackend] = None) -> ExecutionBackend:
+        """Take one slot, waiting while all (eligible) backends are saturated."""
+        async with self._condition:
+            while True:
+                backend = self._pick(avoid)
+                if backend is not None:
+                    self._in_use[id(backend)] += 1
+                    return backend
+                await self._condition.wait()
+
+    async def release(self, backend: ExecutionBackend) -> None:
+        """Return a slot taken by :meth:`acquire` and wake queued acquirers."""
+        async with self._condition:
+            if self._in_use[id(backend)] < 1:
+                raise RuntimeError(f"release without acquire for backend {backend.name!r}")
+            self._in_use[id(backend)] -= 1
+            self._condition.notify_all()
+
+    # ----------------------------------------------------------------- dry run
+    def plan_assignments(self, count: int) -> List[ExecutionBackend]:
+        """Deterministic first-attempt assignment preview for ``count`` shards.
+
+        Simulates :meth:`acquire` in shard order with the same
+        most-free-slots rule; when every slot is taken, the oldest
+        outstanding attempt is assumed to finish first (FIFO).  This is
+        exactly the live assignment when shards complete in launch order —
+        a preview for ``--dry-run``, not a promise.
+        """
+        free = {id(backend): self.free_slots(backend) for backend in self._backends}
+        outstanding: deque = deque()
+        assignments: List[ExecutionBackend] = []
+        for _ in range(count):
+            if all(free[id(backend)] <= 0 for backend in self._backends):
+                oldest = outstanding.popleft()
+                free[id(oldest)] += 1
+            backend = max(
+                (b for b in self._backends if free[id(b)] > 0),
+                key=lambda b: free[id(b)],
+            )
+            free[id(backend)] -= 1
+            outstanding.append(backend)
+            assignments.append(backend)
+        return assignments

@@ -109,6 +109,36 @@ class TestOrchestrateValidation:
         assert excinfo.value.code == 2
         assert message in _error_text(capsys)
 
+    @pytest.mark.parametrize("kill_shard", ["0", "3", "-1"])
+    def test_orchestrate_rejects_out_of_range_inject_kill(self, capsys, tmp_path, kill_shard):
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                ["orchestrate", "fig6a", "--shards", "2", "--journal-dir", str(tmp_path),
+                 "--inject-kill-shard", kill_shard]
+            )
+        assert excinfo.value.code == 2
+        assert "--inject-kill-shard must name a shard in 1..2" in _error_text(capsys)
+
+    @pytest.mark.parametrize(
+        ("spec", "message"),
+        [
+            ("teleport", "unknown backend"),
+            ("local:0", "slots must be >= 1"),
+            ("ssh:2", "requires a host"),
+            ("slurm:1,flavor=fast", "does not accept option"),
+        ],
+    )
+    def test_orchestrate_rejects_bad_backend_specs(self, capsys, tmp_path, spec, message):
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                ["orchestrate", "fig6a", "--shards", "2", "--journal-dir", str(tmp_path),
+                 "--backend", spec]
+            )
+        assert excinfo.value.code == 2
+        error = _error_text(capsys)
+        assert "invalid --backend" in error
+        assert message in error
+
     def test_orchestrate_rejects_single_cell_artifacts(self, capsys, tmp_path):
         """fig9 has one cell — nothing to shard, so orchestration must fail
         loudly (exit 1) instead of spawning useless subprocesses."""
@@ -145,6 +175,49 @@ class TestOrchestrateValidation:
         manifest = k8s.read_text()
         assert "completionMode: Indexed" in manifest
         assert '--shard "$((JOB_COMPLETION_INDEX + 1))/4"' in manifest
+
+    def test_dry_run_prints_assignment_without_launching(self, capsys, tmp_path):
+        """--dry-run resolves backend specs and prints shard->backend lines
+        plus exact commands; nothing runs, no plan is built, no dirs appear."""
+        journal_dir = tmp_path / "journals"
+        exit_code = main(
+            [
+                "orchestrate", "fig6a", "--shards", "3", "--scale", "tiny",
+                "--journal-dir", str(journal_dir), "--dry-run",
+                "--backend", "local:1", "--backend", "slurm:2,bin_dir=/opt/slurm/bin",
+            ]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "local[slots=1], slurm[slots=2]" in out
+        assert "shard 1/3 -> slurm" in out  # most free slots wins
+        assert "shard 2/3 -> local" in out
+        assert "--shard 1/3" in out and "--scale tiny" in out
+        assert "nothing launched" in out
+        assert not journal_dir.exists()
+
+    def test_dry_run_conflicts_with_template_emission(self, capsys, tmp_path):
+        """Regression: --dry-run used to silently swallow --emit-slurm (exit 0,
+        no file written); the combination is now rejected up front."""
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                ["orchestrate", "fig6a", "--shards", "2",
+                 "--journal-dir", str(tmp_path), "--dry-run",
+                 "--emit-slurm", str(tmp_path / "fig6a.sbatch")]
+            )
+        assert excinfo.value.code == 2
+        assert "mutually exclusive" in _error_text(capsys)
+        assert not (tmp_path / "fig6a.sbatch").exists()
+
+    def test_dry_run_with_default_backend(self, capsys, tmp_path):
+        exit_code = main(
+            ["orchestrate", "fig6a", "--shards", "2",
+             "--journal-dir", str(tmp_path / "j"), "--dry-run"]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "local[slots=unbounded]" in out
+        assert "shard 1/2 -> local" in out and "shard 2/2 -> local" in out
 
     def test_main_help_mentions_shard_merge_resume_workflow(self, capsys):
         """Regression for the help-text satellite: the epilog shows worked

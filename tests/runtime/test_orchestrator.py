@@ -13,6 +13,7 @@ end-to-end test exercises the real CLI on fig6a at tiny scale — the
 acceptance criterion, mirrored by CI's ``orchestrate-identity`` job.
 """
 
+import inspect
 import json
 import sys
 import textwrap
@@ -20,6 +21,8 @@ from pathlib import Path
 
 import pytest
 
+import repro.runtime.orchestrator as orchestrator_module
+from repro.runtime.backends import LocalProcessBackend, SSHBackend, ShardLaunch, SlurmBackend
 from repro.runtime.cells import CampaignPlan, CellTask
 from repro.runtime.cli import main
 from repro.runtime.orchestrator import (
@@ -29,6 +32,8 @@ from repro.runtime.orchestrator import (
     render_slurm_script,
 )
 from repro.runtime.runner import CampaignRunner
+
+FAKE_SLURM = Path(__file__).resolve().parents[2] / "tools" / "fake_slurm"
 
 _SRC = str(Path(__file__).resolve().parents[2] / "src")
 
@@ -189,6 +194,162 @@ class TestInjectedKillDeterminism:
         assert shard1.attempts[1].resumed and shard1.attempts[1].reason is None
 
 
+class TestBackendFailover:
+    def test_launches_go_through_backends_not_raw_subprocesses(self):
+        """The tentpole's structural criterion: the orchestrator contains no
+        direct ``create_subprocess_exec`` — every launch goes through a
+        backend (``LocalProcessBackend`` owns the subprocess call)."""
+        source = inspect.getsource(orchestrator_module)
+        assert "create_subprocess_exec" not in source
+
+    def test_killed_shard_retries_on_a_different_backend(
+        self, tmp_path, worker_script, monkeypatch
+    ):
+        """The failover satellite: shard 1's first attempt dies on backend
+        alpha; the retry must land on backend beta *with --resume*, the
+        merged payload must byte-match the serial run, and the report must
+        record which backend ran each attempt."""
+        monkeypatch.setenv("ORCH_TEST_CRASH_SHARD", "1")
+        monkeypatch.setenv("ORCH_TEST_CRASH_MARKER", str(tmp_path / "crashed.marker"))
+        backends = [
+            LocalProcessBackend(slots=1, name="alpha"),
+            LocalProcessBackend(slots=1, name="beta"),
+        ]
+        orchestrator = _orchestrator(
+            tmp_path, worker_script, max_retries=1, backends=backends
+        )
+        report = orchestrator.run()
+
+        assert report.merged
+        assert report.result == _plan().run_serial()
+        crashed = report.outcomes[0]
+        assert [attempt.backend for attempt in crashed.attempts] == ["alpha", "beta"]
+        assert crashed.attempts[0].reason is not None
+        assert crashed.attempts[1].resumed and crashed.attempts[1].reason is None
+        # The structured report records the backend of every attempt.
+        payload = json.loads(report.path.read_text())
+        assert payload["backends"] == ["alpha[slots=1]", "beta[slots=1]"]
+        recorded = [a["backend"] for a in payload["shards"][0]["attempts"]]
+        assert recorded == ["alpha", "beta"]
+
+    def test_single_backend_retries_in_place(self, tmp_path, worker_script, monkeypatch):
+        """With one backend configured there is nowhere to fail over to; the
+        retry reuses it (the pre-backend behaviour)."""
+        monkeypatch.setenv("ORCH_TEST_CRASH_SHARD", "1")
+        monkeypatch.setenv("ORCH_TEST_CRASH_MARKER", str(tmp_path / "crashed.marker"))
+        orchestrator = _orchestrator(
+            tmp_path, worker_script, max_retries=1,
+            backends=[LocalProcessBackend(slots=2, name="only")],
+        )
+        report = orchestrator.run()
+        assert report.merged
+        assert [a.backend for a in report.outcomes[0].attempts] == ["only", "only"]
+
+    def test_tracking_failure_is_a_failed_attempt_not_a_crash(self, tmp_path, worker_script):
+        """A backend that launches fine but explodes while *tracking* the
+        attempt (squeue binary vanishing mid-poll, a transient OSError) must
+        become a failed attempt that fails over — never an unhandled crash
+        that loses the report."""
+
+        class _BoomLaunch(ShardLaunch):
+            @property
+            def finished(self):
+                return True
+
+            async def wait(self):
+                raise RuntimeError("squeue exploded mid-poll")
+
+            def kill(self):
+                pass
+
+            async def stderr(self):
+                return ""
+
+        class _BoomBackend(LocalProcessBackend):
+            async def launch(self, command, *, env=None):
+                return _BoomLaunch()
+
+        orchestrator = _orchestrator(
+            tmp_path, worker_script, max_retries=1, shard_count=1, plan=_plan(),
+            backends=[
+                _BoomBackend(slots=1, name="boom"),
+                LocalProcessBackend(slots=1, name="healthy"),
+            ],
+        )
+        report = orchestrator.run()
+        assert report.merged
+        [outcome] = report.outcomes
+        assert [a.backend for a in outcome.attempts] == ["boom", "healthy"]
+        assert "failed while tracking" in outcome.attempts[0].reason
+        assert "squeue exploded" in outcome.attempts[0].reason
+        assert outcome.attempts[0].returncode is None
+
+    def test_launch_failure_is_a_failed_attempt_not_a_crash(self, tmp_path, worker_script):
+        """A backend that cannot even launch (e.g. sbatch missing) must
+        surface as a failed attempt with a named reason — and fail over."""
+        broken = SlurmBackend(
+            slots=1, name="broken-slurm",
+            bin_dir=tmp_path / "nowhere", work_dir=tmp_path / "slurm-work",
+            poll_interval=0.05,
+        )
+        healthy = LocalProcessBackend(slots=1, name="healthy")
+        orchestrator = _orchestrator(
+            tmp_path, worker_script, max_retries=1,
+            shard_count=1, plan=_plan(), backends=[broken, healthy],
+        )
+        report = orchestrator.run()
+        assert report.merged
+        [outcome] = report.outcomes
+        assert [a.backend for a in outcome.attempts] == ["broken-slurm", "healthy"]
+        assert "failed to launch" in outcome.attempts[0].reason
+        assert outcome.attempts[0].returncode is None
+
+
+class TestDryRun:
+    def test_render_dry_run_lists_assignment_and_commands(self, tmp_path, worker_script):
+        backends = [
+            LocalProcessBackend(slots=1, name="alpha"),
+            LocalProcessBackend(slots=2, name="beta"),
+        ]
+        orchestrator = _orchestrator(
+            tmp_path, worker_script, shard_count=4, backends=backends
+        )
+        text = orchestrator.render_dry_run()
+        assert "alpha[slots=1], beta[slots=2]" in text
+        # beta has the most free slots, then alpha ties in at 1 free.
+        assert "shard 1/4 -> beta" in text
+        assert "shard 2/4 -> alpha" in text or "shard 2/4 -> beta" in text
+        assert "1 shard(s) queue until a slot frees" in text
+        assert "nothing launched" in text
+        # The exact per-shard command is shown (the worker-script factory here).
+        assert "1/4" in text and str(worker_script) in text
+
+    def test_dry_run_shows_the_remote_program_for_ssh_backends(self, tmp_path):
+        orchestrator = ShardOrchestrator(
+            "orch", 2, CampaignRunner(journal_dir=tmp_path / "journals"),
+            backends=[SSHBackend("node7", slots=2)],
+        )
+        text = orchestrator.render_dry_run()
+        assert "-> ssh:node7" in text
+        assert "python3 -m repro.runtime.cli orch --shard 1/2" in text
+        assert sys.executable not in text  # the local venv path would not exist remotely
+
+    def test_dry_run_builds_no_plan(self, tmp_path):
+        """--dry-run must not train baselines: the orchestrator's plan
+        property stays untouched."""
+        journal_dir = tmp_path / "journals"
+
+        def exploding_plan(experiment_id):
+            raise AssertionError("dry run must not build the plan")
+
+        runner = CampaignRunner(journal_dir=journal_dir)
+        runner.plan = exploding_plan
+        orchestrator = ShardOrchestrator("orch", 2, runner)
+        text = orchestrator.render_dry_run()
+        assert "--shard 1/2" in text
+        assert not journal_dir.exists()
+
+
 class TestMergeFailure:
     def test_merge_failure_still_writes_the_report(self, tmp_path, worker_script):
         """Stale foreign shard journals in the shared store make merge_shards
@@ -327,3 +488,49 @@ class TestOrchestrateCLIEndToEnd:
         assert len(shard1["attempts"]) >= 2
         assert all(attempt["resumed"] for attempt in shard1["attempts"][1:])
         assert "injected kill" in shard1["attempts"][0]["reason"]
+
+    def test_fig6a_mixed_backend_identity_with_failover(
+        self, tmp_path, policy_cache, monkeypatch
+    ):
+        """The acceptance criterion: a mixed-backend run (local + the
+        fake-slurm shim) with an injected kill of shard 1 fails over to the
+        other backend and still merges a payload byte-identical to a
+        single-machine run (CI's ``backend-identity`` job runs the same flow
+        from the shell)."""
+        monkeypatch.setenv("FAKE_SLURM_STATE", str(tmp_path / "slurm-state"))
+        cache = str(policy_cache.cache_dir)
+        single = tmp_path / "single"
+        mixed = tmp_path / "mixed"
+        journals = tmp_path / "journals"
+
+        assert main(
+            ["fig6a", "--scale", "tiny", "--cache-dir", cache, "--output", str(single)]
+        ) == 0
+        assert main(
+            [
+                "orchestrate", "fig6a", "--shards", "2", "--scale", "tiny",
+                "--cache-dir", cache, "--journal-dir", str(journals),
+                "--output", str(mixed),
+                "--backend", "local:1",
+                "--backend", f"slurm:1,bin_dir={FAKE_SLURM},poll=0.1",
+                "--inject-kill-shard", "1",
+                "--max-retries", "2", "--poll-interval", "0.1",
+            ]
+        ) == 0
+
+        assert (mixed / "fig6a.json").read_bytes() == (single / "fig6a.json").read_bytes()
+        assert (mixed / "fig6a.txt").read_bytes() == (single / "fig6a.txt").read_bytes()
+
+        report = json.loads((journals / "fig6a.orchestrator.json").read_text())
+        assert report["merged"] is True
+        assert report["backends"] == ["local[slots=1]", "slurm[slots=1]"]
+        shard1 = report["shards"][0]
+        assert "injected kill" in shard1["attempts"][0]["reason"]
+        assert shard1["attempts"][0]["backend"] == "local"
+        # The retry failed over to the fake-slurm backend, with --resume.
+        assert shard1["attempts"][-1]["backend"] == "slurm"
+        assert all(attempt["resumed"] for attempt in shard1["attempts"][1:])
+        # Shard 2's first (and only) attempt ran as a fake-slurm job.
+        shard2 = report["shards"][1]
+        assert shard2["attempts"][0]["backend"] == "slurm"
+        assert shard2["succeeded"]

@@ -1,0 +1,139 @@
+"""Tests for the capacity-aware backend scheduler.
+
+The properties that matter downstream: slot accounting (never more
+concurrent attempts than a backend declares), saturation queueing (acquire
+blocks until a release), failover (``avoid`` is never handed back while
+other backends exist — the guarantee the orchestrator's retry path builds
+on), and the deterministic ``--dry-run`` assignment preview.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.runtime.backends import LocalProcessBackend
+from repro.runtime.scheduler import BackendScheduler
+
+
+def _backends(*slot_counts):
+    return [
+        LocalProcessBackend(slots=slots, name=f"b{index}")
+        for index, slots in enumerate(slot_counts)
+    ]
+
+
+class TestAccounting:
+    def test_requires_a_backend(self):
+        with pytest.raises(ValueError, match="at least one backend"):
+            BackendScheduler([])
+
+    def test_total_slots(self):
+        assert BackendScheduler(_backends(2, 3)).total_slots == 5
+        assert BackendScheduler([LocalProcessBackend()]).total_slots is None
+
+    def test_acquire_prefers_most_free_slots_then_declaration_order(self):
+        async def scenario():
+            scheduler = BackendScheduler(_backends(2, 1))
+            first = await scheduler.acquire()   # b0: 2 free vs b1: 1 free
+            second = await scheduler.acquire()  # tie at 1 free -> declaration order
+            third = await scheduler.acquire()   # only b1 left
+            return [backend.name for backend in (first, second, third)]
+
+        assert asyncio.run(scenario()) == ["b0", "b0", "b1"]
+
+    def test_release_without_acquire_is_an_error(self):
+        async def scenario():
+            [backend] = _backends(1)
+            scheduler = BackendScheduler([backend])
+            await scheduler.release(backend)
+
+        with pytest.raises(RuntimeError, match="release without acquire"):
+            asyncio.run(scenario())
+
+
+class TestSaturationQueueing:
+    def test_acquire_blocks_until_release(self):
+        async def scenario():
+            [backend] = _backends(1)
+            scheduler = BackendScheduler([backend])
+            held = await scheduler.acquire()
+            waiter = asyncio.ensure_future(scheduler.acquire())
+            await asyncio.sleep(0.05)
+            assert not waiter.done()  # saturated: the second acquire queues
+            assert not scheduler.has_free_slot()
+            await scheduler.release(held)
+            acquired = await asyncio.wait_for(waiter, timeout=1)
+            return acquired.name
+
+        assert asyncio.run(scenario()) == "b0"
+
+    def test_unbounded_backend_never_queues(self):
+        async def scenario():
+            scheduler = BackendScheduler([LocalProcessBackend(name="anything")])
+            backends = [await scheduler.acquire() for _ in range(32)]
+            return {backend.name for backend in backends}
+
+        assert asyncio.run(scenario()) == {"anything"}
+
+
+class TestFailover:
+    def test_avoid_picks_the_other_backend(self):
+        async def scenario():
+            alpha, beta = _backends(2, 2)
+            scheduler = BackendScheduler([alpha, beta])
+            return (await scheduler.acquire(avoid=alpha)).name
+
+        assert asyncio.run(scenario()) == "b1"
+
+    def test_avoid_waits_for_the_other_backend_even_if_avoided_is_free(self):
+        """A failed backend may be a failed machine: the retry must queue for
+        another backend's slot rather than land back on the one that just
+        failed it."""
+
+        async def scenario():
+            alpha, beta = _backends(2, 1)
+            scheduler = BackendScheduler([alpha, beta])
+            held = await scheduler.acquire(avoid=alpha)  # saturates beta
+            assert held.name == "b1"
+            waiter = asyncio.ensure_future(scheduler.acquire(avoid=alpha))
+            await asyncio.sleep(0.05)
+            assert not waiter.done()  # alpha has free slots, but is avoided
+            await scheduler.release(held)
+            return (await asyncio.wait_for(waiter, timeout=1)).name
+
+        assert asyncio.run(scenario()) == "b1"
+
+    def test_single_backend_reuses_the_avoided_one(self):
+        async def scenario():
+            [only] = _backends(2)
+            scheduler = BackendScheduler([only])
+            return (await scheduler.acquire(avoid=only)).name
+
+        assert asyncio.run(scenario()) == "b0"
+
+
+class TestDryRunPreview:
+    def test_weighted_first_wave_then_fifo(self):
+        scheduler = BackendScheduler(_backends(2, 1))
+        names = [backend.name for backend in scheduler.plan_assignments(5)]
+        # First wave fills by free slots (b0, b0, b1); the overflow assumes
+        # the oldest outstanding attempt finishes first.
+        assert names == ["b0", "b0", "b1", "b0", "b0"]
+
+    def test_unbounded_backend_takes_everything(self):
+        scheduler = BackendScheduler(
+            [LocalProcessBackend(name="inf"), *_backends(1)]
+        )
+        names = {backend.name for backend in scheduler.plan_assignments(6)}
+        assert names == {"inf"}
+
+    def test_matches_live_acquire_order_when_unsaturated(self):
+        async def live():
+            scheduler = BackendScheduler(_backends(2, 2))
+            return [(await scheduler.acquire()).name for _ in range(4)]
+
+        preview = [
+            backend.name
+            for backend in BackendScheduler(_backends(2, 2)).plan_assignments(4)
+        ]
+        assert preview == asyncio.run(live())

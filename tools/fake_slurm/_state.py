@@ -1,0 +1,77 @@
+"""Shared state handling for the fake-slurm shim.
+
+The shim emulates the four Slurm tools ``SlurmBackend`` needs — ``sbatch``,
+``squeue``, ``sacct``, ``scancel`` — by running each "job" as a detached
+local process group and keeping per-job files in a state directory:
+
+* ``counter``     — monotonically increasing job ids (flock-guarded);
+* ``<id>.pid``    — the job's process-group leader pid;
+* ``<id>.rc``     — written (atomically) with the job's exit code when the
+  batch script finishes; its absence after the process dies means the job
+  was cancelled (killed before completing).
+
+The state directory comes from ``$FAKE_SLURM_STATE`` (tests and CI point it
+at a scratch path) and defaults to ``$TMPDIR/fake-slurm``.
+"""
+
+import fcntl
+import os
+from pathlib import Path
+
+
+def state_dir() -> Path:
+    """The shim's state directory, created on first use."""
+    root = os.environ.get("FAKE_SLURM_STATE")
+    if not root:
+        root = os.path.join(os.environ.get("TMPDIR", "/tmp"), "fake-slurm")
+    path = Path(root)
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def next_job_id(root: Path) -> int:
+    """Allocate the next job id via a flock-guarded counter file."""
+    counter = root / "counter"
+    with open(counter, "a+", encoding="utf8") as handle:
+        fcntl.flock(handle, fcntl.LOCK_EX)
+        handle.seek(0)
+        text = handle.read().strip()
+        job_id = (int(text) if text else 0) + 1
+        handle.seek(0)
+        handle.truncate()
+        handle.write(str(job_id))
+        handle.flush()
+    return job_id
+
+
+def job_pid(root: Path, job_id: str):
+    """The recorded pid of a job, or ``None`` if unknown."""
+    try:
+        return int((root / f"{job_id}.pid").read_text().strip())
+    except (OSError, ValueError):
+        return None
+
+
+def job_returncode(root: Path, job_id: str):
+    """The job's recorded exit code, or ``None`` while running/cancelled."""
+    try:
+        return int((root / f"{job_id}.rc").read_text().strip())
+    except (OSError, ValueError):
+        return None
+
+
+def pid_running(pid) -> bool:
+    """Whether ``pid`` is alive and not a zombie (Linux ``/proc`` check)."""
+    if pid is None:
+        return False
+    try:
+        os.kill(pid, 0)
+    except OSError:
+        return False
+    try:
+        with open(f"/proc/{pid}/stat", encoding="utf8") as handle:
+            # Field 3 (after the parenthesised comm) is the process state.
+            state = handle.read().rsplit(")", 1)[1].split()[0]
+    except (OSError, IndexError):
+        return False
+    return state != "Z"
