@@ -1,0 +1,86 @@
+"""Result-store ingest throughput over a generated many-cell journal.
+
+The store's compaction cost is paid once per analysis session, but it must
+stay linear in *new* bytes: the first ingest of a many-cell journal is the
+worst case (every cell row inserted), and the re-ingest of an unchanged
+directory is the common case (every file skipped on mtime/size).  Both are
+measured; the re-ingest must also insert zero rows — the idempotence
+contract, asserted here as well as in the unit tests.
+
+The journal is generated through the real journal layer (not hand-written
+JSONL), so the benchmark tracks the actual wire format.
+"""
+
+import json
+
+from benchmarks._common import save_result
+from repro.runtime.cells import CampaignPlan, CellTask
+from repro.runtime.journal import CampaignJournal
+from repro.runtime.store import ResultStore
+
+CELL_COUNT = 2000
+
+
+def _output(value: float) -> float:
+    return value * 2.0
+
+
+def _plan() -> CampaignPlan:
+    cells = [
+        CellTask(
+            experiment_id="bench-store",
+            key=("ber", index % 8, "cell", index),
+            fn=_output,
+            kwargs={"value": float(index)},
+        )
+        for index in range(CELL_COUNT)
+    ]
+    return CampaignPlan(experiment_id="bench-store", cells=cells, merge=list)
+
+
+def _write_journal(journal_dir) -> None:
+    journal_dir.mkdir(parents=True, exist_ok=True)
+    plan = _plan()
+    journal = CampaignJournal(journal_dir / "bench-store.jsonl", plan)
+    journal.start({})
+    for index in range(plan.cell_count):
+        journal.record(index, plan.cells[index].run())
+    journal.close()
+
+
+def test_store_first_ingest(benchmark, tmp_path):
+    journal_dir = tmp_path / "journals"
+    _write_journal(journal_dir)
+    stores = iter(range(10_000))
+
+    def ingest():
+        # A fresh store per round so every round pays the full insert cost.
+        with ResultStore(tmp_path / f"store-{next(stores)}.sqlite") as store:
+            return store.ingest(journal_dir)
+
+    report = benchmark.pedantic(ingest, rounds=3, iterations=1)
+    assert report.cells_added == CELL_COUNT
+    save_result("store_first_ingest", {"cells": CELL_COUNT})
+
+
+def test_store_reingest_noop(benchmark, tmp_path):
+    journal_dir = tmp_path / "journals"
+    _write_journal(journal_dir)
+    store = ResultStore(tmp_path / "store.sqlite")
+    first = store.ingest(journal_dir)
+    assert first.cells_added == CELL_COUNT
+
+    report = benchmark.pedantic(store.ingest, args=(journal_dir,), rounds=5, iterations=1)
+    # Idempotence is the contract, not just speed: zero rows on re-ingest.
+    assert report.rows_added == 0
+    assert report.ingested == []
+    _, rows = store.sql("SELECT COUNT(*) FROM cells")
+    assert rows == [(CELL_COUNT,)]
+
+    # The queried outputs still round-trip the journal payload byte-for-byte.
+    _, cells = store.query_cells("bench-store")
+    assert json.dumps([row[2] for row in cells]) == json.dumps(
+        [float(i) * 2.0 for i in range(CELL_COUNT)]
+    )
+    store.close()
+    save_result("store_reingest_noop", {"cells": CELL_COUNT})

@@ -29,8 +29,10 @@ orchestrator's launches *and* by the ``--emit-slurm`` / ``--emit-k8s``
 template renderers (:func:`render_slurm_script`, :func:`render_k8s_manifest`).
 
 CLI spelling: ``--backend NAME[:SLOTS][,KEY=VALUE...]`` — e.g. ``local:4``,
-``ssh:2,host=node7``, ``slurm:16,bin_dir=/opt/slurm/bin`` — parsed by
-:meth:`BackendSpec.parse` and instantiated by :func:`build_backend`.
+``ssh:2,host=node7``, ``slurm:16,bin_dir=/opt/slurm/bin,workers=8`` — parsed
+by :meth:`BackendSpec.parse` and instantiated by :func:`build_backend`.  The
+``workers=M`` option (any kind) overrides the campaign-wide
+``--workers-per-shard`` pool size for attempts that backend runs.
 """
 
 from __future__ import annotations
@@ -183,16 +185,28 @@ class ExecutionBackend(abc.ABC):
 
     ``slots`` declares how many attempts the backend runs concurrently
     (``None`` = unbounded); the scheduler enforces it.  ``name`` labels the
-    backend in reports, dry-run output, and failover decisions.
+    backend in reports, dry-run output, and failover decisions.  ``workers``
+    (``--backend NAME:SLOTS,workers=M``) overrides the campaign-wide
+    ``--workers-per-shard`` pool size for attempts this backend runs, so a
+    big cluster node can use more pool workers than a laptop-class host.
     """
 
     #: Registry key / CLI spelling of the backend class (``--backend KIND``).
     kind = "backend"
 
-    def __init__(self, *, slots: Optional[int] = None, name: Optional[str] = None) -> None:
+    def __init__(
+        self,
+        *,
+        slots: Optional[int] = None,
+        name: Optional[str] = None,
+        workers: Optional[int] = None,
+    ) -> None:
         if slots is not None and slots < 1:
             raise BackendError(f"backend slots must be >= 1, got {slots}")
+        if workers is not None and workers < 1:
+            raise BackendError(f"backend workers must be >= 1, got {workers}")
         self.slots = slots
+        self.workers = workers
         self.name = name or self.kind
 
     @abc.abstractmethod
@@ -213,9 +227,12 @@ class ExecutionBackend(abc.ABC):
         return None
 
     def describe(self) -> str:
-        """Human-readable label: name plus declared capacity."""
+        """Human-readable label: name, declared capacity, workers override."""
         capacity = "unbounded" if self.slots is None else str(self.slots)
-        return f"{self.name}[slots={capacity}]"
+        # The workers suffix appears only when the override is set, so the
+        # default spelling (and everything keyed on it) stays unchanged.
+        workers = f",workers={self.workers}" if self.workers is not None else ""
+        return f"{self.name}[slots={capacity}{workers}]"
 
     @classmethod
     def from_spec(cls, spec: "BackendSpec") -> "ExecutionBackend":
@@ -231,6 +248,17 @@ class ExecutionBackend(abc.ABC):
                 f"backend {spec.kind!r} does not accept option(s) {unknown}; "
                 f"allowed: {sorted(allowed)}"
             )
+
+    @staticmethod
+    def _workers_from_spec(spec: "BackendSpec") -> Optional[int]:
+        """The parsed ``workers=M`` option of a spec, or ``None`` if absent."""
+        text = spec.options.get("workers")
+        if text is None:
+            return None
+        try:
+            return int(text)
+        except ValueError:
+            raise BackendError(f"backend workers must be an integer, got {text!r}")
 
 
 class LocalProcessBackend(ExecutionBackend):
@@ -255,9 +283,13 @@ class LocalProcessBackend(ExecutionBackend):
 
     @classmethod
     def from_spec(cls, spec: "BackendSpec") -> "LocalProcessBackend":
-        """``--backend local[:slots][,name=...]``."""
-        cls._reject_unknown_options(spec, ("name",))
-        return cls(slots=spec.slots, name=spec.options.get("name"))
+        """``--backend local[:slots][,workers=M][,name=...]``."""
+        cls._reject_unknown_options(spec, ("name", "workers"))
+        return cls(
+            slots=spec.slots,
+            name=spec.options.get("name"),
+            workers=cls._workers_from_spec(spec),
+        )
 
 
 class SSHBackend(LocalProcessBackend):
@@ -271,9 +303,16 @@ class SSHBackend(LocalProcessBackend):
     not exist on (and are not forwarded to) the remote side.  Killing an
     attempt kills the local ``ssh`` client; the remote command loses its
     connection and is terminated by sshd.
+
+    :meth:`prepare` runs a cheap connection preflight (``ssh host -- true``)
+    so a dead or misconfigured host fails the campaign at startup instead of
+    on its first shard attempt; ``preflight=off`` skips it.
     """
 
     kind = "ssh"
+
+    #: Seconds the startup preflight waits for ``ssh host -- true``.
+    PREFLIGHT_TIMEOUT = 30.0
 
     def __init__(
         self,
@@ -281,15 +320,58 @@ class SSHBackend(LocalProcessBackend):
         *,
         slots: Optional[int] = None,
         name: Optional[str] = None,
+        workers: Optional[int] = None,
         ssh_command: str = "ssh",
         python: str = "python3",
+        preflight: bool = True,
     ) -> None:
         if not host:
             raise BackendError("ssh backend requires a host (e.g. --backend ssh:2,host=node7)")
-        super().__init__(slots=slots, name=name or f"ssh:{host}")
+        super().__init__(slots=slots, name=name or f"ssh:{host}", workers=workers)
         self.host = host
         self.ssh_command = ssh_command
         self.python = python
+        self.preflight = preflight
+
+    def prepare(self, journal_dir) -> None:
+        """Preflight the connection: a dead host must fail at startup.
+
+        Runs ``<ssh> -o BatchMode=yes <host> -- true`` synchronously (shard
+        attempts haven't launched yet, so blocking is fine) and raises
+        :class:`BackendError` with the host and ssh's own stderr on any
+        failure — unreachable host, rejected key, or a hung connection
+        exceeding :data:`PREFLIGHT_TIMEOUT`.
+        """
+        if not self.preflight:
+            return
+        import subprocess
+
+        argv = self.wrap_command(["true"])
+        try:
+            completed = subprocess.run(
+                argv,
+                stdout=subprocess.DEVNULL,
+                stderr=subprocess.PIPE,
+                timeout=self.PREFLIGHT_TIMEOUT,
+            )
+        except subprocess.TimeoutExpired:
+            raise BackendError(
+                f"backend {self.name}: connection preflight to {self.host!r} hung for "
+                f"{self.PREFLIGHT_TIMEOUT:.0f}s (disable with preflight=off)"
+            )
+        except OSError as error:
+            raise BackendError(
+                f"backend {self.name}: cannot run {argv[0]!r} for the connection "
+                f"preflight: {error}"
+            )
+        if completed.returncode != 0:
+            detail = completed.stderr.decode("utf8", errors="replace").strip()
+            raise BackendError(
+                f"backend {self.name}: connection preflight to {self.host!r} failed "
+                f"(exit {completed.returncode})"
+                + (f": {detail}" if detail else "")
+                + " — fix the host or disable with preflight=off"
+            )
 
     def shard_program(self) -> List[str]:
         """The remote-side shard program: ``<python> -m repro.runtime.cli``."""
@@ -302,14 +384,23 @@ class SSHBackend(LocalProcessBackend):
 
     @classmethod
     def from_spec(cls, spec: "BackendSpec") -> "SSHBackend":
-        """``--backend ssh[:slots],host=NODE[,ssh=CMD][,python=BIN][,name=...]``."""
-        cls._reject_unknown_options(spec, ("name", "host", "ssh", "python"))
+        """``--backend ssh[:slots],host=NODE[,workers=M][,ssh=CMD][,python=BIN][,preflight=off]``."""
+        cls._reject_unknown_options(
+            spec, ("name", "host", "ssh", "python", "workers", "preflight")
+        )
+        preflight_text = spec.options.get("preflight", "on").lower()
+        if preflight_text not in ("on", "off"):
+            raise BackendError(
+                f"ssh preflight must be 'on' or 'off', got {spec.options['preflight']!r}"
+            )
         return cls(
             spec.options.get("host", ""),
             slots=spec.slots,
             name=spec.options.get("name"),
+            workers=cls._workers_from_spec(spec),
             ssh_command=spec.options.get("ssh", "ssh"),
             python=spec.options.get("python", "python3"),
+            preflight=preflight_text == "on",
         )
 
 
@@ -475,13 +566,14 @@ class SlurmBackend(ExecutionBackend):
         *,
         slots: Optional[int] = None,
         name: Optional[str] = None,
+        workers: Optional[int] = None,
         bin_dir=None,
         work_dir=None,
         poll_interval: float = 2.0,
         sbatch_args: Sequence[str] = (),
         command_runner: Optional[CommandRunner] = None,
     ) -> None:
-        super().__init__(slots=slots, name=name)
+        super().__init__(slots=slots, name=name, workers=workers)
         if poll_interval <= 0:
             raise BackendError(f"slurm poll interval must be > 0, got {poll_interval}")
         self.bin_dir = Path(bin_dir) if bin_dir is not None else None
@@ -534,8 +626,8 @@ class SlurmBackend(ExecutionBackend):
 
     @classmethod
     def from_spec(cls, spec: "BackendSpec") -> "SlurmBackend":
-        """``--backend slurm[:slots][,bin_dir=DIR][,work_dir=DIR][,poll=SECONDS][,name=...]``."""
-        cls._reject_unknown_options(spec, ("name", "bin_dir", "work_dir", "poll"))
+        """``--backend slurm[:slots][,workers=M][,bin_dir=DIR][,work_dir=DIR][,poll=SECONDS]``."""
+        cls._reject_unknown_options(spec, ("name", "bin_dir", "work_dir", "poll", "workers"))
         try:
             poll_interval = float(spec.options.get("poll", 2.0))
         except ValueError:
@@ -543,6 +635,7 @@ class SlurmBackend(ExecutionBackend):
         return cls(
             slots=spec.slots,
             name=spec.options.get("name"),
+            workers=cls._workers_from_spec(spec),
             bin_dir=spec.options.get("bin_dir"),
             work_dir=spec.options.get("work_dir"),
             poll_interval=poll_interval,

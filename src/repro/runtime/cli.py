@@ -19,6 +19,11 @@ Examples::
     repro-campaign fig6a --shard 2/2 --journal-dir /shared/journals   # machine B
     repro-campaign fig6a --merge-only --journal-dir /shared/journals --output results/
 
+    # Compact every journal + orchestrator report into a queryable sqlite
+    # store, then slice it (schemas documented in docs/RESULTS.md):
+    repro-campaign ingest /shared/journals
+    repro-campaign query slice fig6a --by ber --journal-dir /shared/journals
+
 Replicate seeds are derived with ``numpy.random.SeedSequence.spawn`` (see
 :func:`repro.runtime.cells.derive_cell_seeds`), so adding replicates never
 perturbs existing ones.
@@ -72,7 +77,14 @@ examples:
   repro-campaign fig6a --shard 2/2 --journal-dir /shared/journals   # machine B
   repro-campaign fig6a --merge-only --journal-dir /shared/journals --output results/
 
-`repro-campaign orchestrate --help` documents the orchestrator's own options.
+  # compact the journals + orchestrator reports into a queryable sqlite store
+  repro-campaign ingest /shared/journals
+  repro-campaign query cells fig6a --store /shared/journals/store.sqlite
+  repro-campaign query slice fig6a --by ber --format json --store /shared/journals/store.sqlite
+
+`repro-campaign orchestrate --help` documents the orchestrator's own options;
+`repro-campaign ingest --help` and `repro-campaign query --help` document the
+result store (schemas in docs/RESULTS.md).
 """
 
 
@@ -89,8 +101,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "experiments",
         nargs="*",
-        help="artifact identifiers (fig3a ... fig9, table1), 'all', or the "
-        "'orchestrate' subcommand",
+        help="artifact identifiers (fig3a ... fig9, table1), 'all', or a "
+        "subcommand: orchestrate, ingest, query",
     )
     parser.add_argument("--list", action="store_true", help="list runnable artifacts and exit")
     parser.add_argument(
@@ -316,8 +328,9 @@ def build_orchestrate_parser() -> argparse.ArgumentParser:
         metavar="NAME[:SLOTS][,KEY=VALUE...]",
         help="execution backend for shard attempts, repeatable: local[:slots], "
         "ssh[:slots],host=NODE, or slurm[:slots][,bin_dir=DIR][,poll=SECONDS]; "
-        "the scheduler assigns shards by free slots and a retry prefers a "
-        "different backend than the one that just failed "
+        "add workers=M to override --workers-per-shard for that backend's "
+        "attempts; the scheduler assigns shards by free slots and a retry "
+        "prefers a different backend than the one that just failed "
         "(default: one unbounded local backend)",
     )
     parser.add_argument(
@@ -327,6 +340,193 @@ def build_orchestrate_parser() -> argparse.ArgumentParser:
         "per-shard commands, then exit without launching anything",
     )
     return parser
+
+
+_QUERY_EPILOG = """\
+canned queries:
+  campaigns             every ingested campaign with its cell coverage
+  cells LABEL           per-cell outcomes of one campaign, in plan order
+  slice LABEL [--by C]  outcome statistics grouped by one key coordinate
+                        (default: ber — the failure-rate-vs-BER slices)
+  attempts [LABEL]      every orchestrator shard attempt, in order
+  timings [LABEL]       per-backend attempt counts, success rates and durations
+
+examples:
+  repro-campaign ingest /shared/journals
+  repro-campaign query campaigns --store /shared/journals/store.sqlite
+  repro-campaign query cells fig6a --journal-dir /shared/journals --format ndjson
+  repro-campaign query slice fig6a --by ber --journal-dir /shared/journals
+  repro-campaign query timings --journal-dir /shared/journals
+  repro-campaign query --sql "SELECT COUNT(*) FROM cells" --journal-dir /shared/journals
+
+Schemas and more worked examples: docs/RESULTS.md.
+"""
+
+
+def build_ingest_parser() -> argparse.ArgumentParser:
+    """The argparse parser for the ``ingest`` subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="repro-campaign ingest",
+        description="Compact a journal directory's merged journals, shard "
+        "journals and orchestrator reports into a schema-versioned sqlite "
+        "store. Incremental and idempotent: unchanged files are skipped, so "
+        "re-running over the same directory inserts zero rows.",
+        epilog="Schemas: docs/RESULTS.md.",
+    )
+    parser.add_argument(
+        "journal_dirs",
+        nargs="+",
+        type=Path,
+        metavar="JOURNAL_DIR",
+        help="journal director(ies) to ingest",
+    )
+    parser.add_argument(
+        "--store",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="sqlite store file (default: <first JOURNAL_DIR>/store.sqlite)",
+    )
+    return parser
+
+
+def build_query_parser() -> argparse.ArgumentParser:
+    """The argparse parser for the ``query`` subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="repro-campaign query",
+        description="Query an ingested result store: canned queries over "
+        "campaigns, cells, slices, attempts and backend timings, or raw SQL "
+        "with --sql.",
+        epilog=_QUERY_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument(
+        "what",
+        nargs="*",
+        metavar="QUERY [LABEL]",
+        help="canned query name plus its arguments (see below), or nothing "
+        "with --sql",
+    )
+    parser.add_argument(
+        "--store",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="sqlite store file to query",
+    )
+    parser.add_argument(
+        "--journal-dir",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="shorthand for --store DIR/store.sqlite",
+    )
+    parser.add_argument(
+        "--by",
+        default="ber",
+        metavar="COORD",
+        help="cell-key coordinate for 'slice' grouping (default: ber)",
+    )
+    parser.add_argument(
+        "--fingerprint",
+        default=None,
+        metavar="PREFIX",
+        help="pin 'cells'/'slice' to the campaign whose plan fingerprint "
+        "starts with PREFIX (default: the newest campaign for the label)",
+    )
+    parser.add_argument(
+        "--sql",
+        default=None,
+        metavar="SQL",
+        help="raw SQL escape hatch, instead of a canned query",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("table", "json", "ndjson"),
+        default="table",
+        help="output format (default: table)",
+    )
+    return parser
+
+
+def _ingest_main(argv: Sequence[str]) -> int:
+    """Entry point for ``repro-campaign ingest ...``."""
+    from repro.runtime.store import ResultStore, StoreError
+
+    parser = build_ingest_parser()
+    args = parser.parse_args(argv)
+    store_path = args.store
+    if store_path is None:
+        store_path = args.journal_dirs[0] / "store.sqlite"
+    try:
+        with ResultStore(store_path) as store:
+            for journal_dir in args.journal_dirs:
+                report = store.ingest(journal_dir)
+                print(f"[ingest] {journal_dir}: {report.render()}", flush=True)
+    except StoreError as error:
+        print(f"[ingest] FAILED — {error}", file=sys.stderr, flush=True)
+        return 1
+    print(f"[ingest] store: {store_path}", flush=True)
+    return 0
+
+
+def _query_main(argv: Sequence[str]) -> int:
+    """Entry point for ``repro-campaign query ...``."""
+    from repro.runtime.store import ResultStore, StoreError, format_rows
+
+    parser = build_query_parser()
+    args = parser.parse_args(argv)
+    store_path = args.store
+    if store_path is None and args.journal_dir is not None:
+        store_path = args.journal_dir / "store.sqlite"
+    if store_path is None:
+        parser.error("give --store FILE or --journal-dir DIR")
+    if not store_path.exists():
+        parser.error(f"no store at {store_path} (run 'repro-campaign ingest' first)")
+    if args.sql is not None and args.what:
+        parser.error("--sql replaces the canned query; give one or the other")
+    if args.sql is None and not args.what:
+        parser.error(
+            "give a canned query (campaigns, cells LABEL, slice LABEL, "
+            "attempts [LABEL], timings [LABEL]) or --sql"
+        )
+    try:
+        with ResultStore(store_path) as store:
+            if args.sql is not None:
+                columns, rows = store.sql(args.sql)
+            else:
+                columns, rows = _run_canned_query(parser, store, args)
+            print(format_rows(columns, rows, args.format), flush=True)
+    except StoreError as error:
+        print(f"[query] FAILED — {error}", file=sys.stderr, flush=True)
+        return 1
+    return 0
+
+
+def _run_canned_query(parser, store, args):
+    """Dispatch ``args.what`` to the store's canned query methods."""
+    name, rest = args.what[0], args.what[1:]
+    if name == "campaigns":
+        if rest:
+            parser.error("'campaigns' takes no arguments")
+        return store.query_campaigns()
+    if name in ("cells", "slice"):
+        if len(rest) != 1:
+            parser.error(f"'{name}' needs exactly one LABEL argument")
+        if name == "cells":
+            return store.query_cells(rest[0], fingerprint=args.fingerprint)
+        return store.query_slice(rest[0], coordinate=args.by, fingerprint=args.fingerprint)
+    if name in ("attempts", "timings"):
+        if len(rest) > 1:
+            parser.error(f"'{name}' takes at most one LABEL argument")
+        label = rest[0] if rest else None
+        if name == "attempts":
+            return store.query_attempts(label)
+        return store.query_timings(label)
+    parser.error(
+        f"unknown query {name!r}; use campaigns, cells LABEL, slice LABEL, "
+        "attempts [LABEL], timings [LABEL], or --sql"
+    )
 
 
 def _shard_forwarded_args(args, include_workers: bool = True) -> list:
@@ -495,6 +695,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     if arguments[:1] == ["orchestrate"]:
         return _orchestrate_main(arguments[1:])
+    if arguments[:1] == ["ingest"]:
+        return _ingest_main(arguments[1:])
+    if arguments[:1] == ["query"]:
+        return _query_main(arguments[1:])
     parser = build_parser()
     args = parser.parse_args(arguments)
 

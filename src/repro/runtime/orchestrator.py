@@ -306,8 +306,6 @@ class ShardOrchestrator:
         self.command_factory = command_factory
         self.on_event = on_event
         self.python_executable = python_executable or sys.executable
-        for backend in self.backends:
-            backend.prepare(self.journal_dir)
         self.scheduler = BackendScheduler(self.backends)
 
     # ------------------------------------------------------------------- plan
@@ -350,15 +348,20 @@ class ShardOrchestrator:
         if self.command_factory is not None:
             return list(self.command_factory(spec, attempt_number, resume))
         program: Sequence[str] = (self.python_executable, "-m", "repro.runtime.cli")
+        shard_args = list(self.shard_args)
         if backend is not None:
             override = backend.shard_program()
             if override:
                 program = override
+            if backend.workers is not None:
+                # Appended after the forwarded args so it wins over the
+                # campaign-wide --workers (argparse keeps the last occurrence).
+                shard_args += ["--workers", str(backend.workers)]
         return shard_argv(
             self.experiment_id,
             spec.describe(),
             self.journal_dir,
-            shard_args=self.shard_args,
+            shard_args=shard_args,
             resume=resume,
             program=program,
         )
@@ -418,6 +421,11 @@ class ShardOrchestrator:
         (carrying the report) when any shard exhausts its retries — the report
         is written to the journal directory in both cases.
         """
+        # Backend preparation (scratch dirs, the SSH connection preflight)
+        # happens here rather than in __init__ so a --dry-run stays offline
+        # and a dead host is reported as an orchestration failure.
+        for backend in self.backends:
+            backend.prepare(self.journal_dir)
         plan = self.plan
         if plan.cell_count <= 1:
             raise OrchestratorError(

@@ -40,6 +40,25 @@ class ShardMergeError(RuntimeError):
     """A merge-only pass found missing, inconsistent or invalid shard journals."""
 
 
+def parse_shard_journal_name(file_name: str) -> Optional[Tuple[str, "ShardSpec"]]:
+    """Split a shard journal file name into ``(label, ShardSpec)``.
+
+    ``"fig6a.shard-2-of-4.jsonl"`` parses to ``("fig6a", ShardSpec(2, 4))``;
+    any other name — including plain merged journals like ``"fig6a.jsonl"``
+    and malformed coordinates like ``shard-0-of-4`` — returns ``None``.  This
+    is the one public decoder of the naming scheme, shared by the merge path
+    here and the result store's directory scan.
+    """
+    match = _SHARD_FILE_PATTERN.search(file_name)
+    if match is None:
+        return None
+    try:
+        spec = ShardSpec(index=int(match.group("index")), count=int(match.group("count")))
+    except ValueError:
+        return None
+    return file_name[: match.start()], spec
+
+
 @dataclass(frozen=True)
 class ShardSpec:
     """One shard of an ``n``-way campaign partition (``index`` is 1-based)."""

@@ -256,6 +256,79 @@ class TestSSHBackend:
         assert LocalProcessBackend().shard_program() is None
 
 
+def _fake_ssh(tmp_path, body: str) -> Path:
+    """Write an executable stand-in for the ssh client."""
+    script = tmp_path / "fake-ssh"
+    script.write_text("#!/bin/sh\n" + body, encoding="utf8")
+    script.chmod(script.stat().st_mode | stat.S_IXUSR)
+    return script
+
+
+class TestSSHPreflight:
+    def test_dead_host_fails_at_prepare_time(self, tmp_path):
+        """A host ssh cannot reach must fail the campaign at startup, naming
+        the host and ssh's own stderr — not on the first shard attempt."""
+        fake = _fake_ssh(tmp_path, "echo 'Connection refused' >&2\nexit 255\n")
+        backend = SSHBackend("deadnode", ssh_command=str(fake))
+        with pytest.raises(BackendError) as excinfo:
+            backend.prepare(tmp_path)
+        message = str(excinfo.value)
+        assert "deadnode" in message
+        assert "Connection refused" in message
+        assert "preflight=off" in message
+
+    def test_reachable_host_passes(self, tmp_path):
+        fake = _fake_ssh(tmp_path, "exit 0\n")
+        SSHBackend("node7", ssh_command=str(fake)).prepare(tmp_path)
+
+    def test_preflight_runs_the_wrapped_true_command(self, tmp_path):
+        """The preflight goes through wrap_command, so it exercises the same
+        ssh options (BatchMode) and host the real launches will use."""
+        log = tmp_path / "argv.log"
+        fake = _fake_ssh(tmp_path, f'echo "$@" > {log}\nexit 0\n')
+        SSHBackend("node7", ssh_command=str(fake)).prepare(tmp_path)
+        logged = log.read_text(encoding="utf8")
+        assert "BatchMode=yes" in logged
+        assert "node7" in logged
+        assert "true" in logged
+
+    def test_preflight_off_skips_the_connection_test(self, tmp_path):
+        backend = build_backend("ssh:1,host=deadnode,preflight=off,ssh=/nonexistent-ssh")
+        backend.prepare(tmp_path)  # would raise if the preflight ran
+
+    def test_missing_ssh_binary_is_a_backend_error(self, tmp_path):
+        backend = SSHBackend("node7", ssh_command=str(tmp_path / "no-such-ssh"))
+        with pytest.raises(BackendError, match="cannot run"):
+            backend.prepare(tmp_path)
+
+    def test_bad_preflight_value_rejected(self):
+        with pytest.raises(BackendError, match="preflight must be 'on' or 'off'"):
+            build_backend("ssh:1,host=node7,preflight=maybe")
+
+
+class TestWorkersOverride:
+    def test_workers_option_parses_on_every_kind(self):
+        assert build_backend("local:2,workers=8").workers == 8
+        assert build_backend("ssh:1,host=node7,workers=4").workers == 4
+        assert build_backend("slurm:16,workers=32").workers == 32
+
+    def test_workers_defaults_to_none(self):
+        """No override means the campaign-wide --workers-per-shard applies —
+        and describe() keeps its historical spelling, which CI's
+        backend-identity job asserts byte-for-byte."""
+        backend = build_backend("local:2")
+        assert backend.workers is None
+        assert backend.describe() == "local[slots=2]"
+
+    def test_describe_shows_the_override(self):
+        assert build_backend("local:2,workers=8").describe() == "local[slots=2,workers=8]"
+
+    @pytest.mark.parametrize("text", ["local:1,workers=three", "local:1,workers=0"])
+    def test_invalid_workers_rejected(self, text):
+        with pytest.raises(BackendError, match="workers must be"):
+            build_backend(text)
+
+
 class _ScriptedRunner:
     """A scripted SlurmBackend command runner: records calls, replays answers."""
 

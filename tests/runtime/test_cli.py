@@ -261,3 +261,117 @@ class TestExistingValidation:
         exit_code = main(["fig9", "--merge-only", "--journal-dir", str(tmp_path)])
         assert exit_code == 0
         assert "SKIPPED" in capsys.readouterr().out
+
+
+def _value(x):
+    return float(x)
+
+
+class TestStoreSubcommands:
+    @staticmethod
+    def _journal(tmp_path):
+        """One tiny two-cell journal directory, written via the journal layer."""
+        import json as _json
+
+        from repro.runtime.cells import CampaignPlan, CellTask
+        from repro.runtime.journal import CampaignJournal
+
+        plan = CampaignPlan(
+            experiment_id="demo",
+            cells=[
+                CellTask(experiment_id="demo", key=("ber", i), fn=_value, kwargs={"x": i})
+                for i in range(2)
+            ],
+            merge=list,
+        )
+        journal = CampaignJournal(tmp_path / "demo.jsonl", plan)
+        journal.start({})
+        for index in range(2):
+            journal.record(index, plan.cells[index].run())
+        journal.close()
+        return _json
+
+    def test_ingest_then_query_round_trip(self, capsys, tmp_path):
+        json = self._journal(tmp_path)
+        assert main(["ingest", str(tmp_path)]) == 0
+        assert "+2 cell row(s)" in capsys.readouterr().out
+        assert (tmp_path / "store.sqlite").exists()
+        exit_code = main(
+            ["query", "cells", "demo", "--journal-dir", str(tmp_path), "--format", "ndjson"]
+        )
+        assert exit_code == 0
+        lines = [
+            line
+            for line in capsys.readouterr().out.splitlines()
+            if line.startswith("{")
+        ]
+        assert [json.loads(line)["output"] for line in lines] == [0.0, 1.0]
+
+    def test_second_ingest_reports_zero_rows(self, capsys, tmp_path):
+        self._journal(tmp_path)
+        assert main(["ingest", str(tmp_path)]) == 0
+        capsys.readouterr()
+        assert main(["ingest", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "+0 cell row(s)" in out
+        assert "0 ingested" in out
+
+    def test_query_without_store_is_a_usage_error(self, capsys, tmp_path):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["query", "campaigns"])
+        assert excinfo.value.code == 2
+        assert "--store" in _error_text(capsys)
+        with pytest.raises(SystemExit):
+            main(["query", "campaigns", "--journal-dir", str(tmp_path)])
+        assert "ingest" in _error_text(capsys)
+
+    def test_query_requires_a_canned_query_or_sql(self, capsys, tmp_path):
+        self._journal(tmp_path)
+        main(["ingest", str(tmp_path)])
+        with pytest.raises(SystemExit):
+            main(["query", "--journal-dir", str(tmp_path)])
+        assert "canned query" in _error_text(capsys)
+        with pytest.raises(SystemExit):
+            main(["query", "cells", "demo", "--sql", "SELECT 1", "--journal-dir", str(tmp_path)])
+        assert "one or the other" in _error_text(capsys)
+        with pytest.raises(SystemExit):
+            main(["query", "teleport", "--journal-dir", str(tmp_path)])
+        assert "unknown query" in _error_text(capsys)
+
+    def test_sql_escape_hatch(self, capsys, tmp_path):
+        self._journal(tmp_path)
+        main(["ingest", str(tmp_path)])
+        capsys.readouterr()
+        exit_code = main(
+            [
+                "query",
+                "--sql",
+                "SELECT COUNT(*) AS cells FROM cells",
+                "--journal-dir",
+                str(tmp_path),
+                "--format",
+                "json",
+            ]
+        )
+        assert exit_code == 0
+        assert '"cells": 2' in capsys.readouterr().out
+
+    def test_unknown_label_is_a_runtime_failure(self, capsys, tmp_path):
+        self._journal(tmp_path)
+        main(["ingest", str(tmp_path)])
+        assert main(["query", "cells", "fig6a", "--journal-dir", str(tmp_path)]) == 1
+        assert "no ingested campaign" in _error_text(capsys)
+
+    def test_mixed_fingerprints_fail_ingest_loudly(self, capsys, tmp_path):
+        import json as _json
+
+        self._journal(tmp_path)
+        header = _json.loads(
+            (tmp_path / "demo.jsonl").read_text(encoding="utf8").splitlines()[0]
+        )
+        stale = dict(header, fingerprint="f" * 64, shard=[1, 2])
+        (tmp_path / "demo.shard-1-of-2.jsonl").write_text(
+            _json.dumps(stale) + "\n", encoding="utf8"
+        )
+        assert main(["ingest", str(tmp_path)]) == 1
+        assert "mixed plan fingerprints" in _error_text(capsys)

@@ -1,0 +1,397 @@
+"""Tests for the queryable result store (sqlite compaction of journals).
+
+The guarantees under test mirror docs/RESULTS.md: ingest is idempotent and
+incremental (re-ingesting an unchanged directory inserts zero rows; a grown
+shard journal replaces exactly its own rows), truncated journal tails are
+tolerated exactly as ``runtime/journal.py`` tolerates them, mixed plan
+fingerprints are refused naming the offending files, and a ``cells`` query
+round-trips the journal payload byte-for-byte.
+"""
+
+import json
+
+import pytest
+
+from repro.runtime.cells import CampaignPlan, CellTask
+from repro.runtime.journal import FINGERPRINT_VERSION, CampaignJournal
+from repro.runtime.sharding import parse_shard_journal_name
+from repro.runtime.store import (
+    SCHEMA_VERSION,
+    ResultStore,
+    StoreError,
+    format_rows,
+    read_journal_records,
+)
+
+
+def _double(value: float) -> float:
+    return value * 2.0
+
+
+def _plan(count: int = 6) -> CampaignPlan:
+    cells = [
+        CellTask(
+            experiment_id="journaled",
+            key=("ber", index % 2, "cell", index),
+            fn=_double,
+            kwargs={"value": float(index)},
+        )
+        for index in range(count)
+    ]
+    return CampaignPlan(experiment_id="journaled", cells=cells, merge=list)
+
+
+def _write_journal(path, plan, indices=None, shard=None):
+    """Run the given cells of ``plan`` straight into a journal file."""
+    journal = CampaignJournal(path, plan, shard=shard)
+    journal.start({})
+    for index in indices if indices is not None else range(plan.cell_count):
+        journal.record(index, plan.cells[index].run())
+    journal.close()
+    return journal
+
+
+def _header_line(path) -> dict:
+    return json.loads(path.read_text(encoding="utf8").splitlines()[0])
+
+
+REPORT = {
+    "experiment_id": "journaled",
+    "shard_count": 2,
+    "cell_count": 6,
+    "max_retries": 2,
+    "backends": ["local[slots=1]", "slurm[slots=1]"],
+    "merged": True,
+    "duration_seconds": 3.25,
+    "shards": [
+        {
+            "shard": "1/2",
+            "assigned_cells": 3,
+            "succeeded": True,
+            "attempts": [
+                {
+                    "number": 1,
+                    "duration_seconds": 0.5,
+                    "returncode": -9,
+                    "cells_completed": 1,
+                    "resumed": False,
+                    "reason": "killed by stall timeout",
+                    "backend": "local",
+                },
+                {
+                    "number": 2,
+                    "duration_seconds": 1.0,
+                    "returncode": 0,
+                    "cells_completed": 3,
+                    "resumed": True,
+                    "reason": None,
+                    "backend": "slurm",
+                },
+            ],
+        },
+        {
+            "shard": "2/2",
+            "assigned_cells": 3,
+            "succeeded": True,
+            "attempts": [
+                {
+                    "number": 1,
+                    "duration_seconds": 1.5,
+                    "returncode": 0,
+                    "cells_completed": 3,
+                    "resumed": False,
+                    "reason": None,
+                    "backend": "local",
+                }
+            ],
+        },
+    ],
+}
+
+
+class TestIngestRoundTrip:
+    def test_cells_query_matches_journal_payload_byte_for_byte(self, tmp_path):
+        plan = _plan()
+        path = tmp_path / "journaled.jsonl"
+        _write_journal(path, plan)
+        expected = CampaignJournal(path, plan).load()
+        with ResultStore(tmp_path / "store.sqlite") as store:
+            store.ingest(tmp_path)
+            _, rows = store.query_cells("journaled")
+        assert [row[0] for row in rows] == sorted(expected)
+        # The acceptance bar: reassembling the queried outputs in plan order
+        # reproduces the journal's payload byte-for-byte.
+        queried = json.dumps([row[2] for row in rows], sort_keys=True)
+        journaled = json.dumps(
+            [expected[index] for index in sorted(expected)], sort_keys=True
+        )
+        assert queried == journaled
+
+    def test_shard_journals_and_merged_journal_dedupe(self, tmp_path):
+        """Byte-identity makes every copy of a cell equal; the store returns
+        each cell exactly once even with merged + shard journals present."""
+        plan = _plan()
+        _write_journal(tmp_path / "journaled.jsonl", plan)
+        for index in (1, 2):
+            spec_indices = [i for i in range(plan.cell_count) if i % 2 == index - 1]
+            _write_journal(
+                tmp_path / f"journaled.shard-{index}-of-2.jsonl",
+                plan,
+                indices=spec_indices,
+                shard=(index, 2),
+            )
+        with ResultStore(tmp_path / "store.sqlite") as store:
+            report = store.ingest(tmp_path)
+            assert len(report.ingested) == 3
+            _, rows = store.query_cells("journaled")
+        assert [row[0] for row in rows] == list(range(plan.cell_count))
+        assert [row[2] for row in rows] == [float(i) * 2.0 for i in range(plan.cell_count)]
+
+    def test_campaign_row_carries_fingerprint_provenance(self, tmp_path):
+        plan = _plan()
+        path = tmp_path / "journaled.jsonl"
+        _write_journal(path, plan)
+        header = _header_line(path)
+        with ResultStore(tmp_path / "store.sqlite") as store:
+            store.ingest(tmp_path)
+            columns, rows = store.query_campaigns()
+        record = dict(zip(columns, rows[0]))
+        assert record["fingerprint"] == header["fingerprint"]
+        assert record["fingerprint_version"] == FINGERPRINT_VERSION
+        assert record["cells_ingested"] == plan.cell_count
+
+    def test_slice_groups_by_key_coordinate(self, tmp_path):
+        plan = _plan()
+        _write_journal(tmp_path / "journaled.jsonl", plan)
+        with ResultStore(tmp_path / "store.sqlite") as store:
+            store.ingest(tmp_path)
+            columns, rows = store.query_slice("journaled", coordinate="ber")
+        by_ber = {row[0]: dict(zip(columns, row)) for row in rows}
+        # cells 0,2,4 have ber=0 (outputs 0,4,8); cells 1,3,5 ber=1 (2,6,10)
+        assert by_ber[0]["cells"] == 3
+        assert by_ber[0]["mean"] == pytest.approx(4.0)
+        assert by_ber[1]["min"] == 2.0
+        assert by_ber[1]["max"] == 10.0
+
+
+class TestIngestIdempotence:
+    def test_reingest_is_a_no_op(self, tmp_path):
+        _write_journal(tmp_path / "journaled.jsonl", _plan())
+        (tmp_path / "journaled.orchestrator.json").write_text(json.dumps(REPORT))
+        with ResultStore(tmp_path / "store.sqlite") as store:
+            first = store.ingest(tmp_path)
+            assert first.rows_added > 0
+            _, before = store.sql("SELECT COUNT(*) FROM cells")
+            again = store.ingest(tmp_path)
+            _, after = store.sql("SELECT COUNT(*) FROM cells")
+        assert again.rows_added == 0
+        assert again.ingested == []
+        assert again.skipped == first.scanned
+        assert before == after
+
+    def test_grown_journal_reingests_only_itself(self, tmp_path):
+        """Incremental: a resumed shard journal that grew replaces exactly its
+        own rows; untouched files are skipped."""
+        plan = _plan()
+        path = tmp_path / "journaled.jsonl"
+        journal = CampaignJournal(path, plan)
+        journal.start({})
+        for index in range(3):
+            journal.record(index, plan.cells[index].run())
+        other = tmp_path / "other.jsonl"
+        _write_journal(other, _plan(2))
+        store = ResultStore(tmp_path / "store.sqlite")
+        store.ingest(tmp_path)
+        for index in range(3, plan.cell_count):
+            journal.record(index, plan.cells[index].run())
+        journal.close()
+        report = store.ingest(tmp_path)
+        assert report.ingested == [str(path)]
+        assert report.skipped >= 1
+        _, rows = store.query_cells("journaled")
+        assert len(rows) == plan.cell_count
+        store.close()
+
+    def test_second_store_instance_sees_the_same_rows(self, tmp_path):
+        _write_journal(tmp_path / "journaled.jsonl", _plan())
+        with ResultStore(tmp_path / "store.sqlite") as store:
+            store.ingest(tmp_path)
+        with ResultStore(tmp_path / "store.sqlite") as store:
+            assert store.ingest(tmp_path).rows_added == 0
+            _, rows = store.query_cells("journaled")
+            assert len(rows) == 6
+
+
+class TestCorruptionTolerance:
+    def test_truncated_tail_is_discarded_like_journal_load(self, tmp_path):
+        """A mid-write kill leaves an unterminated last line; the store keeps
+        everything before it, exactly as CampaignJournal.load does."""
+        plan = _plan()
+        path = tmp_path / "journaled.jsonl"
+        _write_journal(path, plan, indices=range(4))
+        with open(path, "a", encoding="utf8") as handle:
+            handle.write('{"kind": "cell", "index": 4, "ou')  # no newline
+        with ResultStore(tmp_path / "store.sqlite") as store:
+            store.ingest(tmp_path)
+            _, rows = store.query_cells("journaled")
+        assert [row[0] for row in rows] == [0, 1, 2, 3]
+
+    def test_terminated_garbage_line_ends_the_scan(self, tmp_path):
+        plan = _plan()
+        path = tmp_path / "journaled.jsonl"
+        _write_journal(path, plan, indices=range(2))
+        with open(path, "a", encoding="utf8") as handle:
+            handle.write("not json at all\n")
+            handle.write(json.dumps({"kind": "cell", "index": 5, "output": 1.0}) + "\n")
+        header, cells = read_journal_records(path)
+        assert header is not None
+        assert [record["index"] for record in cells] == [0, 1]
+
+    def test_headerless_file_skipped_with_warning(self, tmp_path):
+        (tmp_path / "partial.jsonl").write_text('{"kind": "head', encoding="utf8")
+        _write_journal(tmp_path / "journaled.jsonl", _plan(2))
+        with ResultStore(tmp_path / "store.sqlite") as store:
+            report = store.ingest(tmp_path)
+        assert report.cells_added == 2
+        assert any("partial.jsonl" in warning for warning in report.warnings)
+
+    def test_version1_journal_skipped_with_warning(self, tmp_path):
+        stale = tmp_path / "old.jsonl"
+        stale.write_text(
+            json.dumps(
+                {"kind": "header", "experiment_id": "old", "cell_count": 1, "fingerprint": "x"}
+            )
+            + "\n"
+            + json.dumps({"kind": "cell", "index": 0, "key": ["a", 1], "output": 1.0})
+            + "\n",
+            encoding="utf8",
+        )
+        with ResultStore(tmp_path / "store.sqlite") as store:
+            report = store.ingest(tmp_path)
+        assert report.cells_added == 0
+        assert any("version-1" in warning for warning in report.warnings)
+
+    def test_mixed_fingerprints_rejected_naming_the_files(self, tmp_path):
+        """A merged journal beside a stale shard journal from a different plan
+        must abort the ingest, not blend the two plans' cells."""
+        plan = _plan()
+        _write_journal(tmp_path / "journaled.jsonl", plan)
+        stale = tmp_path / "journaled.shard-1-of-2.jsonl"
+        header = _header_line(tmp_path / "journaled.jsonl")
+        stale_header = dict(header, fingerprint="f" * 64, shard=[1, 2])
+        stale.write_text(
+            json.dumps(stale_header)
+            + "\n"
+            + json.dumps({"kind": "cell", "index": 0, "key": ["ber", 0], "output": 99.0})
+            + "\n",
+            encoding="utf8",
+        )
+        with ResultStore(tmp_path / "store.sqlite") as store:
+            with pytest.raises(StoreError, match="mixed plan fingerprints") as excinfo:
+                store.ingest(tmp_path)
+        assert "journaled.shard-1-of-2.jsonl" in str(excinfo.value)
+        assert "journaled.jsonl" in str(excinfo.value)
+
+    def test_unreadable_report_skipped_with_warning(self, tmp_path):
+        (tmp_path / "broken.orchestrator.json").write_text("{not json", encoding="utf8")
+        with ResultStore(tmp_path / "store.sqlite") as store:
+            report = store.ingest(tmp_path)
+        assert report.attempts_added == 0
+        assert any("broken.orchestrator.json" in warning for warning in report.warnings)
+
+
+class TestReportsAndTimings:
+    def test_attempts_and_timings_queries(self, tmp_path):
+        (tmp_path / "journaled.orchestrator.json").write_text(json.dumps(REPORT))
+        with ResultStore(tmp_path / "store.sqlite") as store:
+            ingest = store.ingest(tmp_path)
+            assert ingest.attempts_added == 3
+            columns, attempts = store.query_attempts("journaled")
+            _, timings = store.query_timings()
+        first = dict(zip(columns, attempts[0]))
+        assert first["shard"] == "1/2"
+        assert first["backend"] == "local"
+        assert first["succeeded"] == 0
+        assert first["reason"] == "killed by stall timeout"
+        by_backend = {row[0]: row for row in timings}
+        assert by_backend["local"][1] == 2  # two local attempts
+        assert by_backend["slurm"][2] == 1  # the slurm one succeeded
+
+    def test_rewritten_report_replaces_its_rows(self, tmp_path):
+        path = tmp_path / "journaled.orchestrator.json"
+        path.write_text(json.dumps(REPORT))
+        with ResultStore(tmp_path / "store.sqlite") as store:
+            store.ingest(tmp_path)
+            trimmed = dict(REPORT, shards=REPORT["shards"][:1])
+            path.write_text(json.dumps(trimmed) + "   ")  # size change
+            store.ingest(tmp_path)
+            _, rows = store.sql("SELECT COUNT(*) FROM attempts")
+        assert rows == [(2,)]
+
+
+class TestGuards:
+    def test_missing_directory_raises(self, tmp_path):
+        with ResultStore(tmp_path / "store.sqlite") as store:
+            with pytest.raises(StoreError, match="does not exist"):
+                store.ingest(tmp_path / "nope")
+
+    def test_unknown_label_names_the_known_ones(self, tmp_path):
+        _write_journal(tmp_path / "journaled.jsonl", _plan(2))
+        with ResultStore(tmp_path / "store.sqlite") as store:
+            store.ingest(tmp_path)
+            with pytest.raises(StoreError, match="journaled"):
+                store.query_cells("fig6a")
+
+    def test_schema_version_mismatch_refused(self, tmp_path):
+        path = tmp_path / "store.sqlite"
+        ResultStore(path).close()
+        import sqlite3
+
+        with sqlite3.connect(path) as connection:
+            connection.execute(
+                "UPDATE store_meta SET value = ? WHERE key = 'schema_version'",
+                (str(SCHEMA_VERSION + 1),),
+            )
+        with pytest.raises(StoreError, match="schema version"):
+            ResultStore(path)
+
+    def test_bad_sql_is_a_store_error(self, tmp_path):
+        with ResultStore(tmp_path / "store.sqlite") as store:
+            with pytest.raises(StoreError, match="SQL query failed"):
+                store.sql("SELECT * FROM no_such_table")
+
+
+class TestFormatting:
+    COLUMNS = ["cell_index", "output"]
+    ROWS = [(0, 1.5), (1, None)]
+
+    def test_table(self):
+        text = format_rows(self.COLUMNS, self.ROWS, "table")
+        assert "cell_index" in text
+        assert "(2 row(s))" in text
+        assert "-" in text.splitlines()[-2]  # None renders as a dash
+
+    def test_json_and_ndjson(self):
+        decoded = json.loads(format_rows(self.COLUMNS, self.ROWS, "json"))
+        assert decoded[0] == {"cell_index": 0, "output": 1.5}
+        lines = format_rows(self.COLUMNS, self.ROWS, "ndjson").splitlines()
+        assert [json.loads(line)["cell_index"] for line in lines] == [0, 1]
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(StoreError, match="unknown output format"):
+            format_rows(self.COLUMNS, self.ROWS, "yaml")
+
+
+class TestShardNameParsing:
+    def test_shard_names_round_trip(self):
+        label, spec = parse_shard_journal_name("fig6a.shard-2-of-4.jsonl")
+        assert label == "fig6a"
+        assert (spec.index, spec.count) == (2, 4)
+        assert spec.journal_name("fig6a") == "fig6a.shard-2-of-4.jsonl"
+
+    @pytest.mark.parametrize(
+        "name",
+        ["fig6a.jsonl", "fig6a.shard-0-of-4.jsonl", "fig6a.shard-5-of-4.jsonl", "x.txt"],
+    )
+    def test_non_shard_names_return_none(self, name):
+        assert parse_shard_journal_name(name) is None

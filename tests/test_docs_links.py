@@ -33,9 +33,10 @@ def _heading_slugs(markdown: str) -> set:
 
 
 def test_docs_exist():
-    """The architecture doc is an acceptance criterion; fail loudly if gone."""
+    """The architecture and results docs are acceptance criteria; fail loudly."""
     assert (REPO_ROOT / "docs" / "ARCHITECTURE.md").exists()
-    assert len(DOCUMENTS) >= 2
+    assert (REPO_ROOT / "docs" / "RESULTS.md").exists()
+    assert len(DOCUMENTS) >= 3
 
 
 @pytest.mark.parametrize(
