@@ -53,17 +53,18 @@ DRONE_EPISODE_FRACTIONS = (0.5,)
 BENCH_CACHE = PolicyCache(Path(__file__).resolve().parent / ".bench_cache")
 
 
-def run_plan(plan, workers: int = 1):
+def run_plan(plan, workers: int = 1, vectorize: str = "auto"):
     """Execute a campaign plan with ``workers`` processes (1 = serial).
 
     The campaign runner merges cell outputs in deterministic plan order, so
-    the result is byte-identical at any worker count — benchmarks use it to
-    trade wall clock only.  Scales and cache are baked into the plan by its
-    builder; the runner only supplies the executor.
+    the result is byte-identical at any worker count and any ``vectorize``
+    mode — benchmarks use both knobs to trade wall clock only.  Scales and
+    cache are baked into the plan by its builder; the runner only supplies
+    the executor.
     """
     from repro.runtime.runner import CampaignRunner
 
-    return CampaignRunner(workers=workers).run_plan(plan)
+    return CampaignRunner(workers=workers, vectorize=vectorize).run_plan(plan)
 
 
 def save_result(name: str, result) -> None:

@@ -3,8 +3,10 @@
 ``--workers N`` runs the campaign-decomposable benchmarks through the
 parallel :class:`repro.runtime.CampaignRunner` instead of the serial
 experiment functions.  ``N=0`` picks a machine-sized default; the merged
-results are byte-identical either way, only the wall clock changes.  The
-``FRLFI_BENCH_WORKERS`` environment variable is the equivalent knob for
+results are byte-identical either way, only the wall clock changes.
+``--vectorize auto|on|off`` picks the lockstep cell-group evaluation mode,
+under the same byte-identity contract.  The ``FRLFI_BENCH_WORKERS`` /
+``FRLFI_BENCH_VECTORIZE`` environment variables are the equivalent knobs for
 environments that cannot pass pytest options (e.g. CI matrices).
 """
 
@@ -22,6 +24,14 @@ def pytest_addoption(parser):
         help="campaign worker processes for decomposable benchmarks "
         "(1 = serial, 0 = machine-sized default)",
     )
+    parser.addoption(
+        "--vectorize",
+        action="store",
+        choices=("auto", "on", "off"),
+        default=os.environ.get("FRLFI_BENCH_VECTORIZE", "auto"),
+        help="lockstep (vectorized) evaluation of cell groups for the "
+        "decomposable benchmarks (payloads are byte-identical either way)",
+    )
 
 
 @pytest.fixture(scope="session")
@@ -32,3 +42,8 @@ def campaign_workers(request) -> int:
 
         return default_worker_count()
     return max(1, workers)
+
+
+@pytest.fixture(scope="session")
+def campaign_vectorize(request) -> str:
+    return request.config.getoption("--vectorize")

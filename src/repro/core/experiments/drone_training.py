@@ -10,7 +10,13 @@ from repro.core.pretrained import PolicyCache, default_cache
 from repro.core.results import HeatmapResult, SweepResult
 from repro.core.workloads import build_drone_frl_system, build_drone_single_system
 from repro.federated import CommunicationSchedule
+from repro.federated.lockstep import (
+    average_flight_distance_group_lockstep,
+    lockstep_compatible,
+    train_group_lockstep,
+)
 from repro.runtime.cells import CampaignPlan, CellTask, accumulate_heatmap, grid_merge_order
+from repro.runtime.vectorize import register_group_runner
 from repro.utils.rng import RngFactory
 
 DEFAULT_DRONE_BERS = (0.0, 1e-3, 1e-2, 1e-1)
@@ -345,3 +351,120 @@ def communication_interval_study(
     Implemented as the serial execution of :func:`communication_interval_plan`.
     """
     return communication_interval_plan(scale, interval_multipliers, fault_ber, cache).run_serial()
+
+
+# ------------------------------------------------------------ vectorized groups
+# Each group runner rebuilds every cell's system and fault callback with the
+# exact serial prologue (independent SeedSequence streams make build order
+# irrelevant), then trains and evaluates all cells as lanes of one lockstep
+# pass.  If the group cannot run in lockstep (mixed env configs or network
+# topologies, activation-target faults), it falls back to the serial cell
+# function — construction is side-effect free, so the discarded systems cost
+# nothing but time.
+
+
+def _training_cell_parts(kwargs: dict) -> tuple:
+    """The (system, callbacks) pair :func:`drone_training_cell` would build."""
+    scale = kwargs["scale"]
+    system = _build_system(
+        scale, kwargs["location"], kwargs["pretrained"], seed_offset=kwargs["repeat"]
+    )
+    fault_location = "server" if kwargs["location"] == "server" else "agent"
+    callback = make_training_fault(
+        location=fault_location,
+        bit_error_rate=kwargs["ber"],
+        injection_episode=kwargs["injection_episode"],
+        datatype=scale.datatype,
+        rng=RngFactory(scale.seed).stream(
+            "drone-fi", kwargs["repeat"], kwargs["row"], kwargs["column"]
+        ),
+    )
+    return system, [callback]
+
+
+def _count_cell_parts(kwargs: dict) -> tuple:
+    """The (system, callbacks) pair :func:`drone_count_cell` would build."""
+    scale = kwargs["scale"]
+    count_scale = scale.with_drones(kwargs["count"])
+    system = build_drone_frl_system(count_scale, initial_state=kwargs["pretrained"])
+    callback = make_training_fault(
+        location=kwargs["location"],
+        bit_error_rate=kwargs["ber"],
+        injection_episode=max(0, scale.fine_tune_episodes // 2),
+        datatype=scale.datatype,
+        rng=RngFactory(scale.seed).stream(
+            "count", kwargs["count"], kwargs["location"], kwargs["ber_index"]
+        ),
+    )
+    return system, [callback]
+
+
+def _interval_cell_parts(kwargs: dict) -> tuple:
+    """The (system, callbacks) pair :func:`communication_interval_cell` builds."""
+    scale = kwargs["scale"]
+    schedule = CommunicationSchedule(
+        base_interval=scale.communication_interval,
+        multiplier=kwargs["multiplier"],
+        switch_episode=kwargs["switch_episode"],
+    )
+    system = build_drone_frl_system(
+        scale, initial_state=kwargs["pretrained"], schedule=schedule
+    )
+    callbacks = []
+    if kwargs["scenario"] != "no_fault":
+        location = "agent" if kwargs["scenario"] == "agent_fault" else "server"
+        callbacks.append(
+            make_training_fault(
+                location=location,
+                bit_error_rate=kwargs["fault_ber"],
+                injection_episode=kwargs["injection_episode"],
+                datatype=scale.datatype,
+                rng=RngFactory(scale.seed).stream(
+                    "interval", kwargs["multiplier"], kwargs["scenario"]
+                ),
+            )
+        )
+    return system, callbacks
+
+
+def _run_group(kwargs_list, build_parts, serial_fn, with_rounds: bool = False):
+    """Train and evaluate a group of cells in lockstep (or fall back serially)."""
+    systems, callbacks = [], []
+    for kwargs in kwargs_list:
+        system, cell_callbacks = build_parts(kwargs)
+        systems.append(system)
+        callbacks.append(cell_callbacks)
+    attempts = {kwargs["scale"].evaluation_attempts for kwargs in kwargs_list}
+    if len(attempts) != 1 or not lockstep_compatible(systems, callbacks):
+        return [serial_fn(**kwargs) for kwargs in kwargs_list]
+    episodes = [kwargs["scale"].fine_tune_episodes for kwargs in kwargs_list]
+    logs = train_group_lockstep(systems, callbacks, episodes)
+    distances = average_flight_distance_group_lockstep(systems, attempts=attempts.pop())
+    if with_rounds:
+        return [
+            (distance, float(log.communication_count))
+            for distance, log in zip(distances, logs)
+        ]
+    return distances
+
+
+def _drone_training_group(kwargs_list):
+    """Vectorized evaluator for a group of :func:`drone_training_cell` cells."""
+    return _run_group(kwargs_list, _training_cell_parts, drone_training_cell)
+
+
+def _drone_count_group(kwargs_list):
+    """Vectorized evaluator for a group of :func:`drone_count_cell` cells."""
+    return _run_group(kwargs_list, _count_cell_parts, drone_count_cell)
+
+
+def _communication_interval_group(kwargs_list):
+    """Vectorized evaluator for :func:`communication_interval_cell` groups."""
+    return _run_group(
+        kwargs_list, _interval_cell_parts, communication_interval_cell, with_rounds=True
+    )
+
+
+register_group_runner(drone_training_cell, _drone_training_group)
+register_group_runner(drone_count_cell, _drone_count_group)
+register_group_runner(communication_interval_cell, _communication_interval_group)

@@ -18,6 +18,22 @@ class StepResult:
     info: Dict[str, object] = field(default_factory=dict)
 
 
+@dataclass
+class VecStepResult:
+    """Outcome of one lockstep ``step_batch`` over a batch of lanes.
+
+    Arrays are full-length over *all* lanes; rows of lanes that were already
+    finished (``stepped`` False) are frozen at their last value — masked, not
+    dropped — so lane indices stay stable for the whole batch lifetime.
+    """
+
+    observations: np.ndarray  #: (lanes, *obs_shape); stale rows for frozen lanes
+    rewards: np.ndarray  #: (lanes,) float64; 0.0 for lanes not stepped
+    done: np.ndarray  #: (lanes,) bool, cumulative episode-finished flags
+    stepped: np.ndarray  #: (lanes,) bool; which lanes this call advanced
+    outcomes: list  #: per-lane outcome string for stepped lanes, else None
+
+
 class Environment:
     """Minimal episodic environment interface (gym-like, dependency free)."""
 
@@ -36,6 +52,7 @@ class Environment:
         """Reseed any stochastic elements of the environment."""
 
     def validate_action(self, action: int) -> int:
+        """Coerce ``action`` to int and check it lies in the action space."""
         action = int(action)
         if not 0 <= action < self.action_count:
             raise ValueError(

@@ -30,7 +30,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
-from repro.envs.base import Environment, StepResult
+from repro.envs.base import Environment, StepResult, VecStepResult
 from repro.utils.rng import as_rng
 
 # 25-action space: 5 yaw deltas (degrees) x 5 speed factors.
@@ -201,13 +201,16 @@ class DroneNavEnv(Environment):
 
     @property
     def position(self) -> np.ndarray:
+        """The drone's current (x, y) position as a copy."""
         return self._position.copy()
 
     @property
     def heading(self) -> float:
+        """The drone's current heading in radians (0 = down-corridor)."""
         return self._heading
 
     def reset(self) -> np.ndarray:
+        """Return the drone to the corridor origin and start a new episode."""
         self._position = np.array([0.0, 0.0])
         self._heading = 0.0
         self._steps = 0
@@ -244,6 +247,7 @@ class DroneNavEnv(Environment):
         return float(depths[lo:hi].mean())
 
     def step(self, action: int) -> StepResult:
+        """Apply one (speed, steering) action; crash/survive per the ray-cast."""
         if self._done:
             raise RuntimeError("step called on a finished episode; call reset() first")
         action = self.validate_action(action)
@@ -282,6 +286,261 @@ class DroneNavEnv(Environment):
             return StepResult(self.observe(), reward, True, info)
         info["outcome"] = "fly"
         return StepResult(self.observe(), reward, False, info)
+
+
+#: Obstacle coordinate used to pad lanes with fewer obstacles than the widest
+#: lane.  Far enough that a padded "obstacle" can never collide or shadow a
+#: real ray hit (its intersection parameter is ~1e9, clipped to ``max_range``
+#: where it ties with the no-obstacle depth bitwise), small enough that the
+#: quadratic ray test (~1e18) stays comfortably inside float64.
+_FAR_OBSTACLE = 1.0e9
+
+#: Precomputed per-action lookups; ``deg2rad``/float conversion is elementwise,
+#: so ``_YAW_RAD[a]`` is bitwise equal to ``decode_action(a)[0]``.
+_YAW_RAD = np.deg2rad(np.asarray(YAW_DELTAS_DEG, dtype=np.float64))
+_SPEED = np.asarray(SPEED_FACTORS, dtype=np.float64)
+
+
+class DroneNavVecEnv:
+    """Lockstep batch of :class:`DroneNavEnv` lanes with masked termination.
+
+    Each lane mirrors one serial environment *bitwise*: every numpy op in
+    :meth:`step_batch` is the elementwise/row-wise image of the corresponding
+    serial op in :meth:`DroneNavEnv.step`, applied only to lanes that are
+    still running (finished lanes are frozen by mask, never recomputed).
+    Lanes may share a :class:`DroneWorld` object (worlds are read-only), which
+    is how evaluation runs several attempts of one environment in parallel.
+
+    The serial step ray-casts twice at the post-move pose (once for the
+    clearance reward, once inside ``observe``); being a pure function of pose,
+    one vectorized cast serves both uses for every stepped lane.
+    """
+
+    action_count = len(YAW_DELTAS_DEG) * len(SPEED_FACTORS)
+
+    def __init__(self, envs: List["DroneNavEnv"]) -> None:
+        envs = list(envs)
+        if not envs:
+            raise ValueError("DroneNavVecEnv needs at least one lane")
+        for env in envs:
+            if not isinstance(env, DroneNavEnv):
+                raise TypeError(f"expected DroneNavEnv lanes, got {type(env).__name__}")
+            if env.config != envs[0].config:
+                raise ValueError("all lanes must share one DroneNavConfig")
+        self.envs = envs
+        self.config = envs[0].config
+        self.lane_count = len(envs)
+        self.observation_shape = envs[0].observation_shape
+        self._ray_angles = envs[0]._ray_angles
+        self._lengths = np.array([env.world.length for env in envs], dtype=np.float64)
+        self._half_widths = np.array(
+            [env.world.half_width for env in envs], dtype=np.float64
+        )
+        self._obstacle_radii = np.array(
+            [env.world.obstacle_radius for env in envs], dtype=np.float64
+        )
+        counts = [env.world.obstacles.shape[0] for env in envs]
+        self._obstacle_max = max(counts)
+        if self._obstacle_max:
+            self._obstacles = np.full(
+                (self.lane_count, self._obstacle_max, 2), _FAR_OBSTACLE, dtype=np.float64
+            )
+            for lane, env in enumerate(envs):
+                self._obstacles[lane, : counts[lane]] = env.world.obstacles
+        else:
+            self._obstacles = np.zeros((self.lane_count, 0, 2))
+        self._positions = np.zeros((self.lane_count, 2))
+        self._headings = np.zeros(self.lane_count)
+        self._steps = np.zeros(self.lane_count, dtype=np.int64)
+        self._distances = np.zeros(self.lane_count)
+        self._done = np.ones(self.lane_count, dtype=bool)
+        self._observations = np.zeros((self.lane_count,) + self.observation_shape)
+
+    @property
+    def done(self) -> np.ndarray:
+        """Copy of the per-lane episode-finished flags."""
+        return self._done.copy()
+
+    @property
+    def observations(self) -> np.ndarray:
+        """The full per-lane observation stack (stale rows for done lanes)."""
+        return self._observations
+
+    @property
+    def flight_distances(self) -> np.ndarray:
+        """Copy of the per-lane flight distances (the paper's metric)."""
+        return self._distances.copy()
+
+    @property
+    def steps(self) -> np.ndarray:
+        """Copy of the per-lane step counters."""
+        return self._steps.copy()
+
+    @property
+    def positions(self) -> np.ndarray:
+        """Copy of the per-lane drone positions."""
+        return self._positions.copy()
+
+    @property
+    def headings(self) -> np.ndarray:
+        """Copy of the per-lane drone headings."""
+        return self._headings.copy()
+
+    def reset_batch(self, lanes: Optional[np.ndarray] = None) -> np.ndarray:
+        """Reset all lanes (or just ``lanes``) and return the observation stack."""
+        if lanes is None:
+            lanes = np.arange(self.lane_count)
+        else:
+            lanes = np.asarray(lanes, dtype=np.int64)
+        self._positions[lanes] = 0.0
+        self._headings[lanes] = 0.0
+        self._steps[lanes] = 0
+        self._distances[lanes] = 0.0
+        self._done[lanes] = False
+        depths = self._ray_depths_batch(
+            lanes, self._positions[lanes], self._headings[lanes]
+        )
+        self._observations[lanes] = self._observe_batch(
+            lanes, self._positions[lanes], depths
+        )
+        return self._observations
+
+    def step_batch(self, actions: np.ndarray) -> VecStepResult:
+        """Advance every unfinished lane by one step (finished lanes freeze).
+
+        ``actions`` is a full-length ``(lanes,)`` integer array; entries for
+        finished lanes are ignored.
+        """
+        active = np.flatnonzero(~self._done)
+        if active.size == 0:
+            raise RuntimeError(
+                "step_batch called with every lane finished; call reset_batch() first"
+            )
+        config = self.config
+        act = np.asarray(actions, dtype=np.int64)[active]
+        if act.min() < 0 or act.max() >= self.action_count:
+            raise ValueError("action outside the 25-element action space")
+        yaw_delta = _YAW_RAD[act // len(SPEED_FACTORS)]
+        speed_factor = _SPEED[act % len(SPEED_FACTORS)]
+        heading = np.clip(self._headings[active] + yaw_delta, -np.pi / 2, np.pi / 2)
+        speed = config.base_speed * speed_factor
+        displacement = speed[:, None] * np.stack(
+            [np.cos(heading), np.sin(heading)], axis=1
+        )
+        position = self._positions[active] + displacement
+        steps = self._steps[active] + 1
+        travelled = np.hypot(displacement[:, 0], displacement[:, 1])
+
+        # Collision test, vectorized image of DroneWorld.collides (computing
+        # the obstacle term even when the wall already hit is harmless: the
+        # serial short-circuit changes no booleans).
+        crashed = np.abs(position[:, 1]) > self._half_widths[active] - config.drone_radius
+        if self._obstacle_max:
+            gaps = np.hypot(
+                self._obstacles[active, :, 0] - position[:, 0:1],
+                self._obstacles[active, :, 1] - position[:, 1:2],
+            )
+            thresholds = (self._obstacle_radii[active] + config.drone_radius)[:, None]
+            crashed = crashed | (gaps < thresholds).any(axis=1)
+
+        self._headings[active] = heading
+        self._positions[active] = position
+        self._steps[active] = steps
+        flying = ~crashed
+        self._distances[active[flying]] += travelled[flying]
+
+        # One ray cast at the post-move pose serves the clearance reward and
+        # the observation of every stepped lane (crashed lanes only observe).
+        depths = self._ray_depths_batch(active, position, heading)
+        width = config.image_width
+        lo = width // 3
+        clearance = depths[:, lo : width - lo].mean(axis=1) / config.max_range
+        progress = displacement[:, 0] / (config.base_speed * max(SPEED_FACTORS))
+        reward = clearance - 0.5 + 0.2 * progress
+        reward[crashed] = config.crash_penalty
+        survived = (steps >= config.max_steps) | (position[:, 0] >= self._lengths[active])
+        finished = crashed | survived
+        self._done[active] = finished
+        self._observations[active] = self._observe_batch(active, position, depths)
+
+        rewards = np.zeros(self.lane_count)
+        rewards[active] = reward
+        stepped = np.zeros(self.lane_count, dtype=bool)
+        stepped[active] = True
+        outcomes: List[Optional[str]] = [None] * self.lane_count
+        for row, lane in enumerate(active):
+            if crashed[row]:
+                outcomes[lane] = "crash"
+            elif survived[row]:
+                outcomes[lane] = "survived"
+            else:
+                outcomes[lane] = "fly"
+        return VecStepResult(
+            observations=self._observations,
+            rewards=rewards,
+            done=self._done.copy(),
+            stepped=stepped,
+            outcomes=outcomes,
+        )
+
+    def _ray_depths_batch(
+        self, lanes: np.ndarray, positions: np.ndarray, headings: np.ndarray
+    ) -> np.ndarray:
+        """Vectorized image of :meth:`DroneWorld.ray_depths` over ``lanes``."""
+        config = self.config
+        angles = self._ray_angles
+        directions = np.stack(
+            [
+                np.cos(headings[:, None] + angles[None, :]),
+                np.sin(headings[:, None] + angles[None, :]),
+            ],
+            axis=2,
+        )  # (lanes, rays, 2)
+        depths = np.full((positions.shape[0], angles.shape[0]), config.max_range)
+        dy = directions[:, :, 1]
+        y = positions[:, 1][:, None]
+        half_width = self._half_widths[lanes][:, None]
+        with np.errstate(divide="ignore", invalid="ignore"):
+            t_top = np.where(dy > 1e-12, (half_width - y) / dy, np.inf)
+            t_bottom = np.where(dy < -1e-12, (-half_width - y) / dy, np.inf)
+        wall_t = np.minimum(t_top, t_bottom)
+        depths = np.minimum(depths, np.clip(wall_t, 0.0, config.max_range))
+        if self._obstacle_max:
+            rel = self._obstacles[lanes] - positions[:, None, :]  # (lanes, obs, 2)
+            d = directions[:, :, None, :]  # (lanes, rays, 1, 2)
+            b = np.sum(d * rel[:, None, :, :], axis=3)  # (lanes, rays, obs)
+            c = (
+                np.sum(rel * rel, axis=2)[:, None, :]
+                - self._obstacle_radii[lanes][:, None, None] ** 2
+            )
+            disc = b * b - c
+            hit = disc >= 0.0
+            sqrt_disc = np.sqrt(np.where(hit, disc, 0.0))
+            t_obstacle = np.where(hit, b - sqrt_disc, np.inf)
+            t_obstacle = np.where(t_obstacle >= 0.0, t_obstacle, np.inf)
+            nearest = t_obstacle.min(axis=2)
+            depths = np.minimum(depths, np.clip(nearest, 0.0, config.max_range))
+        return depths
+
+    def _observe_batch(
+        self, lanes: np.ndarray, positions: np.ndarray, depths: np.ndarray
+    ) -> np.ndarray:
+        """Vectorized image of :meth:`DroneNavEnv.observe` over ``lanes``."""
+        config = self.config
+        normalized = depths / config.max_range  # (lanes, W)
+        vertical = np.linspace(1.0, 0.6, config.image_height).reshape(-1, 1)  # (H, 1)
+        depth_plane = vertical * normalized[:, None, :]
+        proximity_plane = vertical * (1.0 - normalized)[:, None, :]
+        lateral = (positions[:, 1] + self._half_widths[lanes]) / (
+            2 * self._half_widths[lanes]
+        )
+        lateral_plane = np.broadcast_to(
+            lateral[:, None, None],
+            (positions.shape[0], config.image_height, config.image_width),
+        )
+        return np.stack([depth_plane, proximity_plane, lateral_plane], axis=1).astype(
+            np.float64
+        )
 
 
 def make_dronenav_suite(

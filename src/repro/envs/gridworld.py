@@ -18,7 +18,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
-from repro.envs.base import Environment, StepResult
+from repro.envs.base import Environment, StepResult, VecStepResult
 from repro.utils.rng import as_rng
 
 
@@ -56,6 +56,7 @@ class GridWorldLayout:
 
     @property
     def shape(self) -> Tuple[int, int]:
+        """The (rows, columns) extent of the grid."""
         return tuple(self.grid.shape)
 
     def cell(self, row: int, col: int) -> CellType:
@@ -191,9 +192,11 @@ class GridWorldEnv(Environment):
 
     @property
     def position(self) -> Tuple[int, int]:
+        """The agent's current (row, column) cell."""
         return self._position
 
     def reset(self) -> np.ndarray:
+        """Put the agent back on the source cell and start a new episode."""
         self._position = self.layout.source
         self._steps = 0
         self._done = False
@@ -229,6 +232,7 @@ class GridWorldEnv(Environment):
         return abs(position[0] - self.layout.goal[0]) + abs(position[1] - self.layout.goal[1])
 
     def step(self, action: int) -> StepResult:
+        """Move one cell in the action's direction; reward per the cell type."""
         if self._done:
             raise RuntimeError("step called on a finished episode; call reset() first")
         action = self.validate_action(action)
@@ -263,6 +267,169 @@ class GridWorldEnv(Environment):
         )
         info["outcome"] = "move"
         return StepResult(self.observe(candidate), reward, False, info)
+
+
+#: Row/column deltas indexed by action, for vectorized candidate moves.
+_ACTION_DELTAS = np.asarray(ACTIONS, dtype=np.int64)
+
+
+class GridWorldVecEnv:
+    """Lockstep batch of :class:`GridWorldEnv` lanes with masked termination.
+
+    Grids are stacked with a one-cell HELL border so the serial
+    "out-of-bounds is hell" rule becomes a plain array lookup; all arithmetic
+    is integer or exact small constants, so per-lane results are trivially
+    bitwise equal to :meth:`GridWorldEnv.step`.  Finished lanes freeze until
+    :meth:`reset_batch` revives them (evaluation runs attempts back to back
+    per lane this way).
+    """
+
+    action_count = len(ACTIONS)
+
+    def __init__(self, envs: List["GridWorldEnv"]) -> None:
+        envs = list(envs)
+        if not envs:
+            raise ValueError("GridWorldVecEnv needs at least one lane")
+        for env in envs:
+            if not isinstance(env, GridWorldEnv):
+                raise TypeError(f"expected GridWorldEnv lanes, got {type(env).__name__}")
+            if env.max_steps != envs[0].max_steps:
+                raise ValueError("all lanes must share max_steps")
+            if env.observation_mode != envs[0].observation_mode:
+                raise ValueError("all lanes must share observation_mode")
+            if env.layout.shape != envs[0].layout.shape:
+                raise ValueError("all lanes must share the grid shape")
+        self.envs = envs
+        self.lane_count = len(envs)
+        self.max_steps = envs[0].max_steps
+        self.observation_mode = envs[0].observation_mode
+        self.observation_shape = envs[0].observation_shape
+        rows, cols = envs[0].layout.shape
+        self._grids = np.full(
+            (self.lane_count, rows + 2, cols + 2), int(CellType.HELL), dtype=np.int64
+        )
+        for lane, env in enumerate(envs):
+            self._grids[lane, 1:-1, 1:-1] = np.asarray(env.layout.grid, dtype=np.int64)
+        self._sources = np.array([env.layout.source for env in envs], dtype=np.int64)
+        self._goals = np.array([env.layout.goal for env in envs], dtype=np.int64)
+        self._positions = self._sources.copy()
+        self._steps = np.zeros(self.lane_count, dtype=np.int64)
+        self._done = np.ones(self.lane_count, dtype=bool)
+        self._observations = np.zeros((self.lane_count,) + self.observation_shape)
+
+    @property
+    def done(self) -> np.ndarray:
+        """Copy of the per-lane episode-finished flags."""
+        return self._done.copy()
+
+    @property
+    def observations(self) -> np.ndarray:
+        """The full per-lane observation stack (stale rows for done lanes)."""
+        return self._observations
+
+    @property
+    def steps(self) -> np.ndarray:
+        """Copy of the per-lane step counters."""
+        return self._steps.copy()
+
+    @property
+    def positions(self) -> np.ndarray:
+        """Copy of the per-lane (row, col) agent positions."""
+        return self._positions.copy()
+
+    def reset_batch(self, lanes: Optional[np.ndarray] = None) -> np.ndarray:
+        """Reset all lanes (or just ``lanes``) and return the observation stack."""
+        if lanes is None:
+            lanes = np.arange(self.lane_count)
+        else:
+            lanes = np.asarray(lanes, dtype=np.int64)
+        self._positions[lanes] = self._sources[lanes]
+        self._steps[lanes] = 0
+        self._done[lanes] = False
+        self._observations[lanes] = self._observe_batch(lanes, self._positions[lanes])
+        return self._observations
+
+    def step_batch(self, actions: np.ndarray) -> VecStepResult:
+        """Advance every unfinished lane by one step (finished lanes freeze)."""
+        active = np.flatnonzero(~self._done)
+        if active.size == 0:
+            raise RuntimeError(
+                "step_batch called with every lane finished; call reset_batch() first"
+            )
+        act = np.asarray(actions, dtype=np.int64)[active]
+        if act.min() < 0 or act.max() >= self.action_count:
+            raise ValueError(f"action outside the action space of size {self.action_count}")
+        previous = self._positions[active]
+        candidate = previous + _ACTION_DELTAS[act]
+        cell = self._grids[active, candidate[:, 0] + 1, candidate[:, 1] + 1]
+        steps = self._steps[active] + 1
+        crash = cell == int(CellType.HELL)
+        goal = cell == int(CellType.GOAL)
+        timeout = (steps >= self.max_steps) & ~crash & ~goal
+
+        goal_rows = self._goals[active, 0]
+        goal_cols = self._goals[active, 1]
+        closer = (
+            np.abs(candidate[:, 0] - goal_rows) + np.abs(candidate[:, 1] - goal_cols)
+        ) < (np.abs(previous[:, 0] - goal_rows) + np.abs(previous[:, 1] - goal_cols))
+        reward = np.where(
+            crash,
+            GridWorldEnv.REWARD_CRASH,
+            np.where(
+                goal,
+                GridWorldEnv.REWARD_GOAL,
+                np.where(closer, GridWorldEnv.REWARD_CLOSER, GridWorldEnv.REWARD_FARTHER),
+            ),
+        )
+
+        self._steps[active] = steps
+        moved = ~crash
+        self._positions[active[moved]] = candidate[moved]
+        finished = crash | goal | timeout
+        self._done[active] = finished
+        # Crashed lanes observe from where they stood; everyone else from the
+        # committed candidate cell — exactly the serial branch structure.
+        observe_at = np.where(crash[:, None], previous, candidate)
+        self._observations[active] = self._observe_batch(active, observe_at)
+
+        rewards = np.zeros(self.lane_count)
+        rewards[active] = reward
+        stepped = np.zeros(self.lane_count, dtype=bool)
+        stepped[active] = True
+        outcomes: List[Optional[str]] = [None] * self.lane_count
+        for row, lane in enumerate(active):
+            if crash[row]:
+                outcomes[lane] = "crash"
+            elif goal[row]:
+                outcomes[lane] = "goal"
+            elif timeout[row]:
+                outcomes[lane] = "timeout"
+            else:
+                outcomes[lane] = "move"
+        return VecStepResult(
+            observations=self._observations,
+            rewards=rewards,
+            done=self._done.copy(),
+            stepped=stepped,
+            outcomes=outcomes,
+        )
+
+    def _observe_batch(self, lanes: np.ndarray, positions: np.ndarray) -> np.ndarray:
+        """Vectorized image of :meth:`GridWorldEnv.observe` over ``lanes``."""
+        observation = np.zeros((positions.shape[0],) + self.observation_shape)
+        rows = positions[:, 0]
+        cols = positions[:, 1]
+        for index, (d_row, d_col) in enumerate(ACTIONS):
+            cell = self._grids[lanes, rows + d_row + 1, cols + d_col + 1]
+            observation[:, index] = np.where(
+                cell == int(CellType.HELL),
+                -1.0,
+                np.where(cell == int(CellType.GOAL), 1.0, 0.0),
+            )
+        if self.observation_mode == "goal_direction":
+            observation[:, 4] = np.sign(self._goals[lanes, 0] - rows)
+            observation[:, 5] = np.sign(self._goals[lanes, 1] - cols)
+        return observation
 
 
 def make_gridworld_suite(

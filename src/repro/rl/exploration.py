@@ -14,6 +14,7 @@ class EpsilonSchedule:
     """Maps an episode index to an exploration rate ε ∈ [0, 1]."""
 
     def value(self, episode: int) -> float:
+        """The exploration rate to use for ``episode``."""
         raise NotImplementedError
 
     def __call__(self, episode: int) -> float:
@@ -29,6 +30,7 @@ class ConstantEpsilon(EpsilonSchedule):
         self.epsilon = epsilon
 
     def value(self, episode: int) -> float:
+        """The fixed rate, independent of ``episode``."""
         return self.epsilon
 
 
@@ -45,6 +47,7 @@ class LinearEpsilonDecay(EpsilonSchedule):
         self.decay_episodes = decay_episodes
 
     def value(self, episode: int) -> float:
+        """The linearly interpolated rate, clamped to ``end`` after decay."""
         if episode < 0:
             raise ValueError(f"episode must be non-negative, got {episode}")
         if episode >= self.decay_episodes:

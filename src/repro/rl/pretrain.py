@@ -46,6 +46,7 @@ class DroneExpertPilot:
         return observation[0, 0, :]
 
     def select_action(self, observation: np.ndarray) -> int:
+        """Steer toward the sector with the best worst-case clearance."""
         depths = self.depth_profile(observation)
         width = depths.shape[0]
         sectors = np.array_split(np.arange(width), len(YAW_DELTAS_DEG))

@@ -77,20 +77,27 @@ class QLearningAgent(Agent):
     # ------------------------------------------------------------------ acting
     @property
     def exploration_rate(self) -> float:
+        """The current episode's epsilon from the schedule."""
         return self._epsilon
 
     def begin_episode(self, episode_index: int) -> None:
+        """Advance the epsilon schedule to ``episode_index``."""
         self._episode_index = episode_index
         self._epsilon = self.epsilon_schedule.value(episode_index)
 
     def q_values(self, observation: np.ndarray) -> np.ndarray:
+        """The network's Q-value row for one observation."""
         observation = np.asarray(observation, dtype=np.float64).reshape(1, -1)
         return self.network.forward(observation)[0]
 
     def select_action(self, observation: np.ndarray, explore: bool = True) -> int:
+        """Epsilon-greedy action; greedy only when ``explore`` is false."""
         if explore and self._rng.random() < self._epsilon:
             return int(self._rng.integers(0, self.config.action_count))
-        q_values = self.q_values(observation)
+        return self.greedy_action_from(self.q_values(observation))
+
+    def greedy_action_from(self, q_values: np.ndarray) -> int:
+        """Greedy action from precomputed Q-values (draws no random numbers)."""
         return int(np.argmax(q_values))
 
     # ---------------------------------------------------------------- learning
@@ -112,6 +119,7 @@ class QLearningAgent(Agent):
         return loss
 
     def run_episode(self, env: Environment, train: bool = True) -> EpisodeStats:
+        """Play one episode; when training, learn from replay each step."""
         observation = env.reset()
         total_reward = 0.0
         steps = 0
@@ -133,7 +141,9 @@ class QLearningAgent(Agent):
 
     # ------------------------------------------------------------- parameters
     def state_dict(self) -> Dict[str, np.ndarray]:
+        """The network parameters, keyed by layer."""
         return self.network.state_dict()
 
     def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        """Replace the network parameters with ``state``."""
         self.network.load_state_dict(state)

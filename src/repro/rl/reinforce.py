@@ -71,24 +71,41 @@ class ReinforceAgent(Agent):
 
     # ------------------------------------------------------------------ acting
     def action_probabilities(self, observation: np.ndarray) -> np.ndarray:
+        """The policy distribution over actions for one observation."""
         observation = np.asarray(observation, dtype=np.float64)
         if observation.ndim == 3:
             observation = observation[None, ...]
         return self.network.forward(observation)[0]
 
     def select_action(self, observation: np.ndarray, explore: bool = True) -> int:
+        """Sample from the policy when exploring, else act greedily."""
         probabilities = self.action_probabilities(observation)
         if explore:
-            return int(self._rng.choice(len(probabilities), p=probabilities))
+            return self.sample_action_from(probabilities)
+        return self.greedy_action_from(probabilities)
+
+    def sample_action_from(self, probabilities: np.ndarray) -> int:
+        """Sample an exploration action from precomputed policy probabilities.
+
+        This is the exploration branch of :meth:`select_action` split out so the
+        lockstep evaluator can batch the forward pass while drawing from this
+        agent's own stream in exactly the serial order.
+        """
+        return int(self._rng.choice(len(probabilities), p=probabilities))
+
+    def greedy_action_from(self, probabilities: np.ndarray) -> int:
+        """Exploitation action from precomputed probabilities (serial branch)."""
         if self.config.greedy_epsilon > 0 and self._rng.random() < self.config.greedy_epsilon:
             return int(self._rng.integers(0, len(probabilities)))
         return int(np.argmax(probabilities))
 
     def begin_episode(self, episode_index: int) -> None:
+        """Record the episode index (REINFORCE keeps no schedule state)."""
         self._episode_index = episode_index
 
     @property
     def exploration_rate(self) -> float:
+        """The greedy-branch epsilon (constant for REINFORCE)."""
         return self.config.greedy_epsilon
 
     # ---------------------------------------------------------------- learning
@@ -129,6 +146,7 @@ class ReinforceAgent(Agent):
         return loss
 
     def run_episode(self, env: Environment, train: bool = True) -> EpisodeStats:
+        """Play one episode; when training, take one policy-gradient step."""
         observation = env.reset()
         observations: List[np.ndarray] = []
         actions: List[int] = []
@@ -154,7 +172,9 @@ class ReinforceAgent(Agent):
 
     # ------------------------------------------------------------- parameters
     def state_dict(self) -> Dict[str, np.ndarray]:
+        """The network parameters, keyed by layer."""
         return self.network.state_dict()
 
     def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        """Replace the network parameters with ``state``."""
         self.network.load_state_dict(state)

@@ -33,6 +33,7 @@ class ReplayBuffer:
         self._rng = as_rng(rng)
 
     def push(self, transition: Transition) -> None:
+        """Append one transition, evicting the oldest at capacity."""
         self._buffer.append(transition)
 
     def add(
@@ -43,6 +44,7 @@ class ReplayBuffer:
         next_observation: np.ndarray,
         done: bool,
     ) -> None:
+        """Coerce the fields into a :class:`Transition` and push it."""
         self.push(Transition(np.asarray(observation), int(action), float(reward),
                              np.asarray(next_observation), bool(done)))
 
@@ -50,6 +52,7 @@ class ReplayBuffer:
         return len(self._buffer)
 
     def sample(self, batch_size: int) -> List[Transition]:
+        """Draw ``batch_size`` distinct transitions uniformly at random."""
         if batch_size <= 0:
             raise ValueError(f"batch_size must be positive, got {batch_size}")
         if batch_size > len(self._buffer):
@@ -72,4 +75,5 @@ class ReplayBuffer:
         return observations, actions, rewards, next_observations, dones
 
     def clear(self) -> None:
+        """Drop every stored transition."""
         self._buffer.clear()

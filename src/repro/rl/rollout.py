@@ -18,11 +18,12 @@ evaluate without touching the agent's stream.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 import numpy as np
 
 from repro.envs.base import Environment
+from repro.nn.batched import StackedPolicy
 from repro.rl.base import Agent, EpisodeStats, outcome_to_stats
 from repro.utils.rng import as_rng
 
@@ -106,3 +107,138 @@ def evaluate_flight_distance(
         stats = greedy_episode(agent, env, epsilon=epsilon, rng=rng)
         distances.append(stats.flight_distance)
     return float(np.mean(distances))
+
+
+# --------------------------------------------------------------------- lockstep
+def evaluate_episodes_lockstep(
+    agents: Sequence[Agent],
+    vec_env,
+    policy: StackedPolicy,
+    policy_lanes: Optional[np.ndarray] = None,
+    attempts: int = 1,
+    epsilon: float = 0.0,
+    rngs: Optional[Sequence] = None,
+) -> List[List[EpisodeStats]]:
+    """Run ``attempts`` greedy episodes per lane with all lanes in lockstep.
+
+    Lane ``i`` of ``vec_env`` is driven by ``agents[i]`` using the stacked
+    network at ``policy_lanes[i]``; its attempts run *sequentially* (the lane
+    resets and continues when an episode ends) so the per-lane transcript is
+    bitwise identical to ``attempts`` serial :func:`greedy_episode` calls.
+
+    ``rngs[i]`` supplies lane ``i``'s residual-exploration stream (the agent's
+    own stream when omitted, as in the serial helpers).  When ``epsilon`` (or
+    an agent's ``greedy_epsilon``) is non-zero, identity requires each lane to
+    draw from its *own* stream — lanes sharing one generator would interleave
+    draws differently than back-to-back serial evaluation.  The drone campaign
+    path evaluates with ``epsilon=0`` and ``greedy_epsilon=0``, which draws
+    nothing and is identical regardless.
+    """
+    if attempts <= 0:
+        raise ValueError(f"attempts must be positive, got {attempts}")
+    if not 0.0 <= epsilon <= 1.0:
+        raise ValueError(f"epsilon must be in [0, 1], got {epsilon}")
+    lane_count = vec_env.lane_count
+    if len(agents) != lane_count:
+        raise ValueError(f"need {lane_count} agents, got {len(agents)}")
+    if policy_lanes is None:
+        policy_lanes = np.arange(lane_count, dtype=np.int64)
+    else:
+        policy_lanes = np.asarray(policy_lanes, dtype=np.int64)
+    if rngs is None:
+        rngs = [as_rng(getattr(agent, "rng", None)) for agent in agents]
+    remaining = np.full(lane_count, attempts, dtype=np.int64)
+    per_lane: List[List[EpisodeStats]] = [[] for _ in range(lane_count)]
+    totals = np.zeros(lane_count, dtype=np.float64)
+    steps = np.zeros(lane_count, dtype=np.int64)
+    current = np.array(vec_env.reset_batch(), copy=True)
+    while True:
+        active = np.flatnonzero(~vec_env.done)
+        if active.size == 0:
+            break
+        probabilities = policy.forward(current[active], lanes=policy_lanes[active])
+        actions = np.zeros(lane_count, dtype=np.int64)
+        for row, lane in enumerate(active):
+            rng = rngs[lane]
+            if epsilon > 0.0 and rng.random() < epsilon:
+                actions[lane] = int(rng.integers(0, vec_env.action_count))
+            else:
+                # greedy_action_from may consume the lane's stream (residual
+                # greedy-ε); the batched forward above consumed none, so the
+                # per-stream draw order matches serial exactly.
+                actions[lane] = agents[lane].greedy_action_from(probabilities[row])
+        result = vec_env.step_batch(actions)
+        finished: List[int] = []
+        for lane in active:
+            totals[lane] += result.rewards[lane]
+            steps[lane] += 1
+            if result.done[lane]:
+                info = {"outcome": result.outcomes[lane]}
+                distances = getattr(vec_env, "flight_distances", None)
+                if distances is not None:
+                    info["flight_distance"] = float(distances[lane])
+                per_lane[lane].append(
+                    outcome_to_stats(float(totals[lane]), int(steps[lane]), info)
+                )
+                totals[lane] = 0.0
+                steps[lane] = 0
+                remaining[lane] -= 1
+                if remaining[lane] > 0:
+                    finished.append(int(lane))
+        if finished:
+            vec_env.reset_batch(lanes=np.asarray(finished, dtype=np.int64))
+        active_rows = np.flatnonzero(~vec_env.done)
+        current[active_rows] = vec_env.observations[active_rows]
+    return per_lane
+
+
+def evaluate_flight_distances_lockstep(
+    agents: Sequence[Agent],
+    envs: Sequence[Environment],
+    attempts: int = 5,
+    epsilon: float = 0.0,
+    policy: Optional[StackedPolicy] = None,
+) -> List[float]:
+    """Per-lane mean safe flight distance, lockstep over ``(agent, env)`` lanes.
+
+    Lane ``i``'s value is bitwise identical to
+    ``evaluate_flight_distance(agents[i], envs[i], attempts, epsilon)``.
+    """
+    from repro.rl.lockstep import build_vec_env
+
+    vec_env = build_vec_env(envs)
+    if policy is None:
+        policy = StackedPolicy([agent.network for agent in agents])
+    per_lane = evaluate_episodes_lockstep(
+        agents, vec_env, policy, attempts=attempts, epsilon=epsilon
+    )
+    return [
+        float(np.mean([stats.flight_distance for stats in lane])) for lane in per_lane
+    ]
+
+
+def evaluate_success_rates_lockstep(
+    agents: Sequence[Agent],
+    envs: Sequence[Environment],
+    attempts: int = 20,
+    epsilon: float = 0.05,
+    policy: Optional[StackedPolicy] = None,
+) -> List[float]:
+    """Per-lane success rate, lockstep over ``(agent, env)`` lanes.
+
+    Lane ``i``'s value is bitwise identical to
+    ``evaluate_success_rate(agents[i], envs[i], attempts, epsilon)`` provided
+    each lane draws ε noise from its own stream (see
+    :func:`evaluate_episodes_lockstep`).
+    """
+    from repro.rl.lockstep import build_vec_env
+
+    vec_env = build_vec_env(envs)
+    if policy is None:
+        policy = StackedPolicy([agent.network for agent in agents])
+    per_lane = evaluate_episodes_lockstep(
+        agents, vec_env, policy, attempts=attempts, epsilon=epsilon
+    )
+    return [
+        sum(1 for stats in lane if stats.success) / attempts for lane in per_lane
+    ]

@@ -134,6 +134,15 @@ def build_parser() -> argparse.ArgumentParser:
         "process round-trips (default: 1)",
     )
     parser.add_argument(
+        "--vectorize",
+        choices=("auto", "on", "off"),
+        default="auto",
+        help="lockstep (vectorized) evaluation of cell groups: 'auto' uses it "
+        "where a vectorized runner exists, 'on' fails if one is missing, "
+        "'off' forces the serial per-cell path; payloads are byte-identical "
+        "either way (default: auto)",
+    )
+    parser.add_argument(
         "--output",
         type=Path,
         default=None,
@@ -242,6 +251,13 @@ def build_orchestrate_parser() -> argparse.ArgumentParser:
         default=1,
         metavar="B",
         help="forwarded to each shard: group up to B cells per pool submission",
+    )
+    parser.add_argument(
+        "--vectorize",
+        choices=("auto", "on", "off"),
+        default="auto",
+        help="forwarded to each shard: lockstep (vectorized) evaluation of "
+        "cell groups (default: auto)",
     )
     parser.add_argument(
         "--max-retries",
@@ -540,6 +556,8 @@ def _shard_forwarded_args(args, include_workers: bool = True) -> list:
         forwarded += ["--workers", str(args.workers_per_shard)]
     if args.batch_cells > 1:
         forwarded += ["--batch-cells", str(args.batch_cells)]
+    if args.vectorize != "auto":
+        forwarded += ["--vectorize", args.vectorize]
     if args.seed is not None:
         forwarded += ["--seed", str(args.seed)]
     if args.cache_dir is not None:
@@ -643,6 +661,7 @@ def _orchestrate_main(argv: Sequence[str]) -> int:
         drone_scale=drone_scale,
         cache=PolicyCache(args.cache_dir) if args.cache_dir is not None else None,
         journal_dir=journal_dir,
+        vectorize=args.vectorize,
     )
     orchestrator = ShardOrchestrator(
         args.experiment,
@@ -781,6 +800,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             journal_dir=journal_dir,
             resume=args.resume,
             shard=shard,
+            vectorize=args.vectorize,
         )
         suffix = f"@r{replicate}" if args.replicates > 1 else ""
         if args.replicates > 1:

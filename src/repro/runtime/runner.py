@@ -14,6 +14,11 @@ Three scaling features layer on top of the basic fan-out:
   small (no per-cell state-dict pickling).
 * **Cell batching** (``batch_size``) — small cells are grouped into one pool
   submission to amortize process round-trips, e.g. on single-core hosts.
+* **Vectorized cell groups** (``vectorize="auto"|"on"|"off"``) — consecutive
+  cells sharing a function with a registered group runner (see
+  :mod:`repro.runtime.vectorize`) evaluate through one lockstep pass per
+  group, inside each batch; ``docs/PERFORMANCE.md`` explains what this buys
+  and why the payloads stay byte-identical.
 * **Streaming journals** (``journal_dir`` / an explicit
   :class:`~repro.runtime.journal.CampaignJournal`) — completed cell outputs
   are appended to a per-artifact JSONL file as they arrive, and a run with
@@ -44,8 +49,19 @@ from repro.core.pretrained import PolicyCache
 from repro.runtime.cells import CampaignPlan, CellTask
 from repro.runtime.journal import CampaignJournal
 from repro.runtime.plans import CampaignContext, build_plan, plannable_experiment_ids
-from repro.runtime.residency import PolicyRef, collect_policy_refs, preload_policy_refs
+from repro.runtime.residency import (
+    PolicyRef,
+    collect_policy_refs,
+    preload_policy_refs,
+    resolve_policy_kwargs,
+)
 from repro.runtime.sharding import ShardRunReport, ShardSpec, load_shard_outputs
+from repro.runtime.vectorize import (
+    GROUP_CELL_CAP,
+    group_runner_for,
+    has_group_runner,
+    validate_vectorize_mode,
+)
 
 
 class CampaignError(RuntimeError):
@@ -67,19 +83,61 @@ class CellExecutionError(CampaignError):
         return (type(self), (self.cell, self.message))
 
 
-def _run_cell_batch(cells: Sequence[CellTask]) -> List[object]:
+def _run_cell_batch(cells: Sequence[CellTask], vectorize: str = "off") -> List[object]:
     """Run a batch of cells in a pool worker, in order.
+
+    With ``vectorize`` other than ``"off"``, consecutive cells sharing a
+    function with a registered group runner (see
+    :mod:`repro.runtime.vectorize`) are evaluated through one lockstep call —
+    this is how a whole ``--batch-cells`` group becomes one vectorized pass.
+    ``"on"`` additionally *requires* a group runner for every cell.
 
     Wraps any cell failure in :class:`CellExecutionError` *inside* the worker,
     so the parent can attribute the failure to the exact cell even when
     several cells share one submission.
     """
-    outputs = []
-    for cell in cells:
+    outputs: List[object] = []
+    cursor = 0
+    while cursor < len(cells):
+        cell = cells[cursor]
+        runner = group_runner_for(cell.fn) if vectorize != "off" else None
+        if vectorize == "on" and runner is None:
+            raise CampaignError(
+                f"--vectorize on: no vectorized group runner is registered for "
+                f"{getattr(cell.fn, '__name__', cell.fn)!r} "
+                f"(cell {cell.describe()}); use --vectorize auto or off"
+            )
+        if runner is None:
+            try:
+                outputs.append(cell.run())
+            except Exception as exc:
+                raise CellExecutionError(cell, f"{type(exc).__name__}: {exc}") from exc
+            cursor += 1
+            continue
+        group = [cell]
+        while (
+            cursor + len(group) < len(cells)
+            and cells[cursor + len(group)].fn is cell.fn
+            and len(group) < GROUP_CELL_CAP
+        ):
+            group.append(cells[cursor + len(group)])
         try:
-            outputs.append(cell.run())
+            resolved = [resolve_policy_kwargs(member.kwargs) for member in group]
+            group_outputs = list(runner(resolved))
         except Exception as exc:
-            raise CellExecutionError(cell, f"{type(exc).__name__}: {exc}") from exc
+            raise CellExecutionError(
+                cell,
+                f"vectorized group of {len(group)} cells failed with "
+                f"{type(exc).__name__}: {exc}",
+            ) from exc
+        if len(group_outputs) != len(group):
+            raise CellExecutionError(
+                cell,
+                f"vectorized group runner returned {len(group_outputs)} outputs "
+                f"for {len(group)} cells",
+            )
+        outputs.extend(group_outputs)
+        cursor += len(group)
     return outputs
 
 
@@ -133,11 +191,13 @@ class CampaignRunner:
         journal_dir: Optional[Path] = None,
         resume: bool = False,
         shard: Optional[object] = None,
+        vectorize: str = "auto",
     ) -> None:
         self.context = CampaignContext.create(gridworld_scale, drone_scale, cache)
         self.workers = max(1, int(workers)) if workers is not None else 1
         self.mp_context = mp_context
         self.batch_size = max(1, int(batch_size))
+        self.vectorize = validate_vectorize_mode(vectorize)
         self.journal_dir = Path(journal_dir) if journal_dir is not None else None
         self.resume = resume
         if shard is not None and not isinstance(shard, ShardSpec):
@@ -209,7 +269,7 @@ class CampaignRunner:
         if self.shard is not None:
             return self._run_shard(plan, journal)
         if journal is None:
-            if self.workers <= 1 or plan.cell_count == 0:
+            if plan.cell_count == 0 or (self.workers <= 1 and self.vectorize == "off"):
                 return plan.run_serial()
             outputs = self._execute(plan.cells, list(range(plan.cell_count)), None)
             return plan.merge(outputs)
@@ -294,8 +354,15 @@ class CampaignRunner:
         if not pending:
             return outputs
         if self.workers <= 1:
-            for index in pending:
-                deliver(index, cells[index].run())
+            # Group consecutive same-function cells so the serial path also
+            # benefits from (and exercises) the vectorized lockstep runners;
+            # each group journals as soon as it completes.
+            for group in self._serial_groups(cells, pending):
+                group_outputs = _run_cell_batch(
+                    [cells[index] for index in group], self.vectorize
+                )
+                for index, output in zip(group, group_outputs):
+                    deliver(index, output)
             return outputs
         batches = [
             pending[start : start + self.batch_size]
@@ -303,6 +370,32 @@ class CampaignRunner:
         ]
         self._map_batches(cells, batches, deliver)
         return outputs
+
+    def _serial_groups(
+        self, cells: List[CellTask], pending: List[int]
+    ) -> List[List[int]]:
+        """Split pending indices into journal-granularity execution groups.
+
+        Consecutive indices whose cells share a function with a registered
+        group runner fuse into one group (capped at
+        :data:`~repro.runtime.vectorize.GROUP_CELL_CAP`); everything else runs
+        as singleton groups, matching the historical cell-at-a-time loop.
+        """
+        if self.vectorize == "off":
+            return [[index] for index in pending]
+        groups: List[List[int]] = []
+        for index in pending:
+            fn = cells[index].fn
+            if (
+                groups
+                and cells[groups[-1][-1]].fn is fn
+                and has_group_runner(fn)
+                and len(groups[-1]) < GROUP_CELL_CAP
+            ):
+                groups[-1].append(index)
+            else:
+                groups.append([index])
+        return groups
 
     def _map_batches(self, cells, batches, deliver) -> None:
         refs = collect_policy_refs(cells[index] for batch in batches for index in batch)
@@ -315,7 +408,9 @@ class CampaignRunner:
         )
         try:
             futures = {
-                pool.submit(_run_cell_batch, [cells[index] for index in batch]): batch
+                pool.submit(
+                    _run_cell_batch, [cells[index] for index in batch], self.vectorize
+                ): batch
                 for batch in batches
             }
             # Stream completions as they arrive so the journal captures every

@@ -1,0 +1,84 @@
+"""Bitwise identity of :class:`StackedPolicy` against per-network forwards.
+
+The stacked forward reproduces each lane's *serial operand memory layout*
+before every GEMM (BLAS picks its kernel — and hence its floating-point
+reduction order — from operand strides), which is what makes row ``j`` of
+``forward`` byte-identical to ``networks[j].forward(obs[None])[0]`` rather
+than merely numerically close.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import DroneScale
+from repro.core.workloads import drone_agent_config
+from repro.nn.batched import StackedPolicy
+from repro.rl.reinforce import ReinforceAgent
+
+
+def _agents(count, seed=77):
+    config = drone_agent_config(DroneScale.tiny())
+    streams = np.random.SeedSequence(seed).spawn(count)
+    return [ReinforceAgent(config, rng=np.random.default_rng(s)) for s in streams]
+
+
+def _observations(count, shape, seed=5):
+    return np.random.default_rng(seed).normal(size=(count, *shape))
+
+
+class TestStackedForwardIdentity:
+    @pytest.mark.parametrize("lane_count", [1, 2, 5])
+    def test_forward_matches_serial_bitwise(self, lane_count):
+        agents = _agents(lane_count)
+        policy = StackedPolicy([agent.network for agent in agents])
+        shape = agents[0].config.input_shape
+        observations = _observations(lane_count, shape)
+        stacked = policy.forward(observations)
+        for lane, agent in enumerate(agents):
+            serial = agent.network.forward(observations[lane][None])[0]
+            assert stacked[lane].tobytes() == serial.tobytes()
+
+    def test_lane_selection_routes_each_row_to_its_network(self):
+        agents = _agents(3)
+        policy = StackedPolicy([agent.network for agent in agents])
+        shape = agents[0].config.input_shape
+        observations = _observations(2, shape)
+        lanes = np.array([2, 0])
+        stacked = policy.forward(observations, lanes=lanes)
+        for row, lane in enumerate(lanes):
+            serial = agents[lane].network.forward(observations[row][None])[0]
+            assert stacked[row].tobytes() == serial.tobytes()
+
+    def test_refresh_picks_up_weight_mutations(self):
+        agents = _agents(2)
+        policy = StackedPolicy([agent.network for agent in agents])
+        shape = agents[0].config.input_shape
+        observations = _observations(2, shape)
+        before = policy.forward(observations)
+        # Mutate lane 1's weights in place (as a fault injection would).
+        state = agents[1].network.state_dict()
+        key = sorted(state)[0]
+        state[key] = state[key] + 0.25
+        agents[1].network.load_state_dict(state)
+        stale = policy.forward(observations)
+        assert stale[1].tobytes() == before[1].tobytes()  # stale until refresh
+        policy.refresh()
+        fresh = policy.forward(observations)
+        serial = agents[1].network.forward(observations[1][None])[0]
+        assert fresh[1].tobytes() == serial.tobytes()
+        assert fresh[0].tobytes() == before[0].tobytes()
+
+    def test_mismatched_topologies_rejected(self):
+        from dataclasses import replace
+
+        config = drone_agent_config(DroneScale.tiny())
+        small = ReinforceAgent(config, rng=np.random.default_rng(1))
+        big = ReinforceAgent(
+            replace(config, fc_hidden=config.fc_hidden * 2), rng=np.random.default_rng(2)
+        )
+        with pytest.raises(ValueError):
+            StackedPolicy([small.network, big.network])
+
+    def test_empty_stack_rejected(self):
+        with pytest.raises(ValueError):
+            StackedPolicy([])

@@ -537,3 +537,165 @@ class TestSlurmBackendAgainstFakeShim:
             return returncode
 
         assert _run(scenario()) == 137
+
+
+class TestSlurmArraySubmission:
+    """``array=on``: concurrent launches collapse into one sbatch --array."""
+
+    def test_from_spec_parses_array_option(self):
+        backend = build_backend("slurm:4,array=on")
+        assert isinstance(backend, SlurmBackend)
+        assert backend.array is True
+        assert build_backend("slurm").array is False
+        with pytest.raises(BackendError, match="array"):
+            build_backend("slurm,array=maybe")
+
+    def test_one_sbatch_call_for_a_wave_of_launches(self, tmp_path):
+        runner = _ScriptedRunner(
+            [
+                ("sbatch", (0, "99\n", "")),
+                ("squeue", (0, "", "")),
+                ("squeue", (0, "", "")),
+                ("squeue", (0, "", "")),
+                ("sacct", (0, "COMPLETED|0:0\n", "")),
+                ("sacct", (0, "COMPLETED|0:0\n", "")),
+                ("sacct", (0, "FAILED|2:0\n", "")),
+            ]
+        )
+        backend = SlurmBackend(
+            work_dir=tmp_path / "slurm",
+            command_runner=runner,
+            poll_interval=0.01,
+            array=True,
+            array_window=0.05,
+        )
+
+        async def scenario():
+            launches = await asyncio.gather(
+                *(backend.launch(["echo", f"shard-{i}"]) for i in range(3))
+            )
+            codes = await asyncio.gather(*(launch.wait() for launch in launches))
+            return launches, codes
+
+        launches, codes = _run(scenario())
+        assert [launch.job_id for launch in launches] == ["99_0", "99_1", "99_2"]
+        assert codes == [0, 0, 2]
+        sbatch_calls = [call for call in runner.calls if Path(call[0]).name == "sbatch"]
+        assert len(sbatch_calls) == 1
+        assert "--array=0-2" in sbatch_calls[0]
+        script = Path(sbatch_calls[0][-1]).read_text()
+        assert 'case "$SLURM_ARRAY_TASK_ID" in' in script
+        for i in range(3):
+            assert f"echo shard-{i}" in script
+
+    def test_single_launch_window_falls_back_to_plain_submit(self, tmp_path):
+        runner = _ScriptedRunner(
+            [
+                ("sbatch", (0, "7\n", "")),
+                ("squeue", (0, "", "")),
+                ("sacct", (0, "COMPLETED|0:0\n", "")),
+            ]
+        )
+        backend = SlurmBackend(
+            work_dir=tmp_path / "slurm",
+            command_runner=runner,
+            poll_interval=0.01,
+            array=True,
+            array_window=0.01,
+        )
+
+        async def scenario():
+            launch = await backend.launch(["echo", "solo"])
+            return launch.job_id, await launch.wait()
+
+        job_id, returncode = _run(scenario())
+        assert job_id == "7"  # no array-task suffix
+        assert returncode == 0
+        sbatch_calls = [call for call in runner.calls if Path(call[0]).name == "sbatch"]
+        assert not any("--array" in token for token in sbatch_calls[0])
+
+    def test_sbatch_failure_fails_every_launch_in_the_window(self, tmp_path):
+        runner = _ScriptedRunner([("sbatch", (1, "", "partition down"))])
+        backend = SlurmBackend(
+            work_dir=tmp_path / "slurm",
+            command_runner=runner,
+            poll_interval=0.01,
+            array=True,
+            array_window=0.01,
+        )
+
+        async def scenario():
+            results = await asyncio.gather(
+                *(backend.launch(["echo", str(i)]) for i in range(2)),
+                return_exceptions=True,
+            )
+            return results
+
+        results = _run(scenario())
+        assert len(results) == 2
+        assert all(isinstance(result, BackendError) for result in results)
+        assert all("partition down" in str(result) for result in results)
+
+    def test_array_cycle_against_the_fake_shim(self, tmp_path, fake_slurm_env):
+        backend = SlurmBackend(
+            bin_dir=FAKE_SLURM,
+            work_dir=tmp_path / "slurm-work",
+            poll_interval=0.05,
+            array=True,
+            array_window=0.1,
+        )
+
+        async def scenario():
+            launches = await asyncio.gather(
+                *(
+                    backend.launch(
+                        [
+                            "bash",
+                            "-c",
+                            f"echo task $SLURM_ARRAY_TASK_ID >&2; exit {0 if i != 1 else 9}",
+                        ],
+                        env=fake_slurm_env,
+                    )
+                    for i in range(3)
+                )
+            )
+            codes = await asyncio.gather(*(launch.wait() for launch in launches))
+            stderrs = await asyncio.gather(*(launch.stderr() for launch in launches))
+            await asyncio.gather(*(launch.close() for launch in launches))
+            return launches, codes, stderrs
+
+        launches, codes, stderrs = _run(scenario())
+        base = launches[0].job_id.split("_")[0]
+        assert [launch.job_id for launch in launches] == [f"{base}_{i}" for i in range(3)]
+        assert codes == [0, 9, 0]
+        # Each task saw its own SLURM_ARRAY_TASK_ID and its own stderr file.
+        assert [err.strip() for err in stderrs] == ["task 0", "task 1", "task 2"]
+
+    def test_cancelling_one_array_task_leaves_siblings_running(self, tmp_path, fake_slurm_env):
+        backend = SlurmBackend(
+            bin_dir=FAKE_SLURM,
+            work_dir=tmp_path / "slurm-work",
+            poll_interval=0.05,
+            array=True,
+            array_window=0.1,
+        )
+        marker = tmp_path / "sibling-finished.marker"
+
+        async def scenario():
+            slow = backend.launch(["sleep", "60"], env=fake_slurm_env)
+            quick = backend.launch(
+                ["bash", "-c", f"sleep 0.3 && touch {marker}"], env=fake_slurm_env
+            )
+            slow_launch, quick_launch = await asyncio.gather(slow, quick)
+            await asyncio.sleep(0.2)  # let both tasks start
+            slow_launch.kill()
+            slow_code, quick_code = await asyncio.gather(
+                slow_launch.wait(), quick_launch.wait()
+            )
+            await asyncio.gather(slow_launch.close(), quick_launch.close())
+            return slow_code, quick_code
+
+        slow_code, quick_code = _run(scenario())
+        assert slow_code == 137
+        assert quick_code == 0
+        assert marker.exists()

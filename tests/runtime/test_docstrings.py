@@ -1,10 +1,11 @@
-"""Docstring coverage for the runtime package's public API.
+"""Docstring coverage for the public API of the gated packages.
 
 CI enforces ruff's D1 (pydocstyle undocumented-*) rules for
-``src/repro/runtime/`` (see ``[tool.ruff.lint]`` in pyproject.toml); this
-test mirrors that contract with a plain ``ast`` walk so the guarantee also
-holds in environments where ruff is not installed — docstring coverage of
-the scaling API cannot regress in either place.
+``src/repro/runtime/``, ``src/repro/envs/`` and ``src/repro/rl/`` (see
+``[tool.ruff.lint]`` in pyproject.toml); this test mirrors that contract
+with a plain ``ast`` walk so the guarantee also holds in environments where
+ruff is not installed — docstring coverage of the scaling API and the
+vectorized hot path cannot regress in either place.
 """
 
 import ast
@@ -12,8 +13,11 @@ from pathlib import Path
 
 import pytest
 
-RUNTIME_DIR = Path(__file__).resolve().parents[2] / "src" / "repro" / "runtime"
-RUNTIME_MODULES = sorted(RUNTIME_DIR.glob("*.py"))
+SRC_ROOT = Path(__file__).resolve().parents[2] / "src" / "repro"
+GATED_PACKAGES = ("runtime", "envs", "rl")
+GATED_MODULES = sorted(
+    path for package in GATED_PACKAGES for path in (SRC_ROOT / package).glob("*.py")
+)
 
 
 def _is_public(name: str) -> bool:
@@ -39,18 +43,22 @@ def _missing_docstrings(tree: ast.Module) -> list:
 
 
 @pytest.mark.parametrize(
-    "module_path", RUNTIME_MODULES, ids=[path.name for path in RUNTIME_MODULES]
+    "module_path",
+    GATED_MODULES,
+    ids=[f"{path.parent.name}/{path.name}" for path in GATED_MODULES],
 )
-def test_every_public_runtime_symbol_has_a_docstring(module_path):
+def test_every_public_gated_symbol_has_a_docstring(module_path):
     tree = ast.parse(module_path.read_text(encoding="utf8"))
     missing = _missing_docstrings(tree)
     assert not missing, (
-        f"{module_path.relative_to(RUNTIME_DIR.parents[2])} has undocumented "
-        f"public symbols: {missing} — the runtime package is the public "
-        "scaling API; document them (ruff's D1 rules enforce the same in CI)"
+        f"{module_path.relative_to(SRC_ROOT.parents[1])} has undocumented "
+        f"public symbols: {missing} — the gated packages (runtime, envs, rl) "
+        "are the public scaling API and the vectorized hot path; document "
+        "them (ruff's D1 rules enforce the same in CI)"
     )
 
 
-def test_runtime_package_is_nonempty():
+def test_gated_packages_are_nonempty():
     """Guard the glob: an empty parametrization would silently pass."""
-    assert len(RUNTIME_MODULES) >= 8
+    assert len(GATED_MODULES) >= 12
+    assert {path.parent.name for path in GATED_MODULES} == set(GATED_PACKAGES)
