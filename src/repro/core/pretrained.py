@@ -65,7 +65,10 @@ class PolicyCache:
         """Delete every cached artefact; returns the number of files removed."""
         removed = 0
         if self.cache_dir.exists():
-            for path in self.cache_dir.glob("*.json"):
+            # Deterministic deletion order (REP002): glob order is
+            # filesystem-dependent, and a clear() interrupted midway should
+            # leave the same survivors on every machine.
+            for path in sorted(self.cache_dir.glob("*.json")):
                 path.unlink()
                 removed += 1
         return removed

@@ -27,10 +27,12 @@ class BitErrorRate:
 
     @classmethod
     def from_percent(cls, percent: float) -> "BitErrorRate":
+        """Build a rate from the paper's percent notation (``2.0`` -> 0.02)."""
         return cls(percent / 100.0)
 
     @property
     def percent(self) -> float:
+        """The rate expressed as a percentage (inverse of :meth:`from_percent`)."""
         return self.rate * 100.0
 
     def fault_count(self, total_bits: int, rng: np.random.Generator) -> int:
@@ -38,6 +40,7 @@ class BitErrorRate:
         return fault_count_for(total_bits, self.rate, rng)
 
     def expected_faults(self, total_bits: int) -> float:
+        """Expected number of upset bits over ``total_bits`` exposures."""
         return total_bits * self.rate
 
     def label(self, total_bits: int) -> str:

@@ -41,6 +41,7 @@ class ActivationFaultHook(Module):
         self.injection_count = 0
 
     def forward(self, inputs: np.ndarray) -> np.ndarray:
+        """Forward through the wrapped layer, corrupting the activations when enabled."""
         output = self.wrapped.forward(inputs)
         if self.enabled and self.bit_error_rate.rate > 0.0:
             output = self.injector.corrupt_array(output, self.bit_error_rate)
@@ -48,20 +49,25 @@ class ActivationFaultHook(Module):
         return output
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        """Delegate the backward pass to the wrapped layer unchanged."""
         return self.wrapped.backward(grad_output)
 
     def parameters(self):
+        """The wrapped layer's parameters (the hook adds none of its own)."""
         return self.wrapped.parameters()
 
     def named_parameters(self, prefix: str = ""):
+        """The wrapped layer's named parameters under ``prefix``."""
         return self.wrapped.named_parameters(prefix=prefix)
 
     def train(self) -> "ActivationFaultHook":
+        """Put the hook and the wrapped layer into training mode."""
         super().train()
         self.wrapped.train()
         return self
 
     def eval(self) -> "ActivationFaultHook":
+        """Put the hook and the wrapped layer into evaluation mode."""
         super().eval()
         self.wrapped.eval()
         return self

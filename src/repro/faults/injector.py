@@ -56,6 +56,7 @@ class FaultInjector:
 
     @property
     def rng(self) -> np.random.Generator:
+        """The injector's explicit random generator (REP001: never global state)."""
         return self._rng
 
     def corrupt_array(
@@ -285,6 +286,7 @@ class FaultInjector:
         return sum(record.flipped_bits for record in self.history)
 
     def clear_history(self) -> None:
+        """Drop every recorded injection event (test isolation helper)."""
         self.history.clear()
 
 

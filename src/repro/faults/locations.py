@@ -26,6 +26,7 @@ class FaultLocation(Enum):
 
     @classmethod
     def parse(cls, value) -> "FaultLocation":
+        """Coerce a string/enum ``value`` into a :class:`FaultLocation` (accepts paper aliases)."""
         if isinstance(value, cls):
             return value
         key = str(value).lower().replace("-", "_")
@@ -53,6 +54,7 @@ class FaultTarget(Enum):
 
     @classmethod
     def parse(cls, value) -> "FaultTarget":
+        """Coerce a string/enum ``value`` into a :class:`FaultTarget` (accepts paper aliases)."""
         if isinstance(value, cls):
             return value
         key = str(value).lower()

@@ -46,6 +46,7 @@ class TransientBitFlip(FaultModel):
     name = "transient"
 
     def apply(self, codes, element_indices, bit_positions, bit_width):
+        """XOR-flip the selected bits of ``codes`` (lane-batched, in one ufunc pass)."""
         return flip_bits(codes, element_indices, bit_positions, bit_width)
 
 
@@ -55,6 +56,7 @@ class StuckAt0(FaultModel):
     name = "stuck-at-0"
 
     def apply(self, codes, element_indices, bit_positions, bit_width):
+        """Force the selected bits of ``codes`` to 0."""
         return set_bits(codes, element_indices, bit_positions, bit_width, value=0)
 
 
@@ -64,6 +66,7 @@ class StuckAt1(FaultModel):
     name = "stuck-at-1"
 
     def apply(self, codes, element_indices, bit_positions, bit_width):
+        """Force the selected bits of ``codes`` to 1."""
         return set_bits(codes, element_indices, bit_positions, bit_width, value=1)
 
 

@@ -109,6 +109,7 @@ class FaultSpec:
         )
 
     def describe(self) -> str:
+        """Human-readable one-line summary of the fault scenario."""
         where = self.location.value
         when = (
             f"episode {self.injection_episode}" if self.injection_episode is not None else "any"

@@ -46,9 +46,11 @@ class FederatedAgent:
 
     # ------------------------------------------------------------- evaluation
     def success_rate(self, attempts: int = 20) -> float:
+        """This agent's evaluation success rate on its own environment."""
         return evaluate_success_rate(self.agent, self.env, attempts=attempts)
 
     def flight_distance(self, attempts: int = 5) -> float:
+        """This agent's mean evaluation flight distance on its own environment."""
         return evaluate_flight_distance(self.agent, self.env, attempts=attempts)
 
     def recent_average_reward(self, window: int = 20) -> float:

@@ -86,6 +86,7 @@ class AlphaSchedule:
             raise ValueError(f"decay must be in (0, 1], got {self.decay}")
 
     def alpha(self, round_index: int, agent_count: int) -> float:
+        """The server mixing weight for ``round_index`` with ``agent_count`` agents."""
         if agent_count <= 0:
             raise ValueError(f"agent_count must be positive, got {agent_count}")
         if round_index < 0:

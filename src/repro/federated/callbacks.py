@@ -66,39 +66,48 @@ class CallbackList(TrainingCallback):
         self.callbacks: List[TrainingCallback] = list(callbacks)
 
     def append(self, callback: TrainingCallback) -> None:
+        """Add ``callback`` to the dispatch list (fires after existing ones)."""
         self.callbacks.append(callback)
 
     def on_training_start(self, system) -> None:
+        """Fan ``on_training_start`` out to every callback, in registration order."""
         for callback in self.callbacks:
             callback.on_training_start(system)
 
     def on_episode_start(self, system, episode) -> None:
+        """Fan ``on_episode_start`` out to every callback, in registration order."""
         for callback in self.callbacks:
             callback.on_episode_start(system, episode)
 
     def on_agent_episode_end(self, system, episode, agent_index, stats) -> None:
+        """Fan ``on_agent_episode_end`` out to every callback, in registration order."""
         for callback in self.callbacks:
             callback.on_agent_episode_end(system, episode, agent_index, stats)
 
     def transform_upload(self, system, episode, agent_index, state):
+        """Thread one agent's upload state through every callback's transform."""
         for callback in self.callbacks:
             state = callback.transform_upload(system, episode, agent_index, state)
         return state
 
     def transform_server_state(self, system, episode, state):
+        """Thread the server's aggregated state through every callback's transform."""
         for callback in self.callbacks:
             state = callback.transform_server_state(system, episode, state)
         return state
 
     def transform_broadcast(self, system, episode, agent_index, state):
+        """Thread one agent's broadcast state through every callback's transform."""
         for callback in self.callbacks:
             state = callback.transform_broadcast(system, episode, agent_index, state)
         return state
 
     def on_round_end(self, system, episode, communicated) -> None:
+        """Fan ``on_round_end`` out to every callback, in registration order."""
         for callback in self.callbacks:
             callback.on_round_end(system, episode, communicated)
 
     def on_training_end(self, system) -> None:
+        """Fan ``on_training_end`` out to every callback, in registration order."""
         for callback in self.callbacks:
             callback.on_training_end(system)

@@ -33,10 +33,12 @@ class CommunicationStats:
 
     @property
     def total_messages(self) -> int:
+        """Uplink plus downlink message count."""
         return self.uplink_messages + self.downlink_messages
 
     @property
     def total_parameters(self) -> int:
+        """Uplink plus downlink transferred-parameter count."""
         return self.uplink_parameters + self.downlink_parameters
 
 
@@ -85,4 +87,5 @@ class CommunicationChannel:
         return state
 
     def reset_stats(self) -> None:
+        """Zero the transfer counters (a fresh :class:`CommunicationStats`)."""
         self.stats = CommunicationStats()

@@ -60,6 +60,7 @@ class FederatedServer:
         ]
 
     def reset(self) -> None:
+        """Forget all rounds, uploads and consensus state (fresh training run)."""
         self.round_index = 0
         self._last_uploads = None
         self._consensus = None

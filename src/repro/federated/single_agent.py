@@ -37,6 +37,7 @@ class SingleAgentSystem:
 
     @property
     def agent_count(self) -> int:
+        """Always 1 — the single-agent baseline of the paper's comparisons."""
         return 1
 
     def _next_env(self) -> Environment:
@@ -68,12 +69,14 @@ class SingleAgentSystem:
 
     # -------------------------------------------------------------- evaluation
     def average_success_rate(self, attempts: int = 20) -> float:
+        """The agent's mean success rate across every configured environment."""
         from repro.rl.rollout import evaluate_success_rate
 
         rates = [evaluate_success_rate(self.agent, env, attempts=attempts) for env in self.envs]
         return float(np.mean(rates))
 
     def average_flight_distance(self, attempts: int = 3) -> float:
+        """The agent's mean flight distance across every configured environment."""
         from repro.rl.rollout import evaluate_flight_distance
 
         distances = [
@@ -82,9 +85,11 @@ class SingleAgentSystem:
         return float(np.mean(distances))
 
     def consensus_state(self) -> StateDict:
+        """The agent's own state dict (mirrors :meth:`FRLSystem.consensus_state`)."""
         return self.agent.state_dict()
 
     def corrupt_agent(self, agent_index: int, corrupted_state: StateDict) -> None:
+        """Replace agent 0's state with ``corrupted_state`` (fault-injection seam)."""
         if agent_index != 0:
             raise IndexError("single-agent system only has agent 0")
         self.agent.load_state_dict(corrupted_state)

@@ -35,20 +35,25 @@ class TrainingLog:
 
     @property
     def episodes(self) -> int:
+        """Number of episodes recorded so far."""
         return len(self.episode_rewards)
 
     @property
     def communication_count(self) -> int:
+        """Number of communication rounds recorded so far."""
         return len(self.communication_episodes)
 
     def mean_reward(self, episode: int) -> float:
+        """The episode's reward averaged over agents (0.0 when empty)."""
         rewards = self.episode_rewards[episode]
         return float(np.mean(rewards)) if rewards else 0.0
 
     def agent_rewards(self, agent_index: int) -> List[float]:
+        """One agent's reward trajectory across every recorded episode."""
         return [rewards[agent_index] for rewards in self.episode_rewards]
 
     def record_event(self, episode: int, kind: str, **details) -> None:
+        """Append a structured event (communication, fault, recovery) to the log."""
         self.events.append({"episode": episode, "kind": kind, **details})
 
 
@@ -72,6 +77,7 @@ class FRLSystem:
 
     @property
     def agent_count(self) -> int:
+        """Number of federated agents in the system."""
         return len(self.agents)
 
     # ---------------------------------------------------------------- training

@@ -1,0 +1,46 @@
+"""``repro-lint`` — determinism & concurrency static analysis for this repo.
+
+Every layer of the campaign runtime rests on one invariant: serial, pooled,
+vectorized, sharded, and mixed-backend runs produce **byte-identical**
+payloads.  CI enforces that contract dynamically (the ``*-identity`` jobs),
+but dynamic checks are expensive and catch violations only after they ship —
+two real bug classes slipped through exactly this gap (the PR 3 path-in-
+fingerprint leak and the PR 5 blocking-drain orchestrator deadlock).  This
+package makes the house determinism rules checkable in seconds, at dev time,
+with an AST-level lint pass:
+
+* :mod:`repro.lint.engine` — file walking, per-file rule dispatch, pragma
+  suppression, and the :class:`~repro.lint.engine.Finding` model;
+* :mod:`repro.lint.rules` — the rule registry and the six initial rules
+  (REP001–REP006), each carrying its house rationale and worked examples;
+* :mod:`repro.lint.pragmas` — ``# repro-lint: disable=REPxxx -- reason``
+  line-pragma parsing (a reason string is mandatory);
+* :mod:`repro.lint.config` — ``[tool.repro-lint]`` pyproject loading for
+  per-rule path scoping;
+* :mod:`repro.lint.cli` — the ``repro-lint`` console script (text/JSON
+  output, ``--explain``, advisory ``--no-error`` mode).
+
+The package is deliberately stdlib-only (``ast`` + ``tomllib``): it must be
+importable in minimal environments (CI lint jobs, pre-commit hooks) without
+numpy or the campaign runtime.
+
+The rules themselves are documented for humans in ``docs/STATIC_ANALYSIS.md``.
+"""
+
+from repro.lint.engine import Finding, LintReport, lint_paths, lint_source
+from repro.lint.config import LintConfig, load_config
+from repro.lint.pragmas import format_pragma, parse_pragmas
+from repro.lint.rules import RULES, rule_by_id
+
+__all__ = [
+    "Finding",
+    "LintConfig",
+    "LintReport",
+    "RULES",
+    "format_pragma",
+    "lint_paths",
+    "lint_source",
+    "load_config",
+    "parse_pragmas",
+    "rule_by_id",
+]

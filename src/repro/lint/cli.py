@@ -1,0 +1,128 @@
+"""The ``repro-lint`` console script.
+
+Usage::
+
+    repro-lint src/repro                      # lint, exit 1 on findings
+    repro-lint src/repro --format json        # machine-readable report
+    repro-lint benchmarks examples --no-error # advisory: report, exit 0
+    repro-lint --explain REP004               # the house rationale + examples
+    repro-lint --list-rules                   # one line per rule
+
+Configuration is read from the nearest ``pyproject.toml`` above the first
+linted path (override with ``--config``, disable with ``--isolated``); see
+:mod:`repro.lint.config` for the ``[tool.repro-lint]`` schema and
+``docs/STATIC_ANALYSIS.md`` for the rule catalogue.
+
+Exit codes: 0 — clean (or ``--no-error``); 1 — findings; 2 — usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.lint.config import LintConfig, LintConfigError, find_pyproject, load_config
+from repro.lint.engine import lint_paths
+from repro.lint.rules import RULES, rule_by_id
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro-lint`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "Determinism & concurrency static analysis for the campaign runtime: "
+            "enforces the byte-identity contract (explicit RNG threading, ordered "
+            "iteration, path-free fingerprints, non-blocking async orchestration, "
+            "picklable pool callables) at dev time."
+        ),
+        epilog="Rule catalogue and pragma policy: docs/STATIC_ANALYSIS.md",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (directories recurse over *.py)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--explain",
+        metavar="REPxxx",
+        help="print the rationale and worked examples for one rule, then exit",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list every registered rule id and title, then exit",
+    )
+    parser.add_argument(
+        "--no-error",
+        action="store_true",
+        help="advisory mode: report findings but exit 0 (CI uses this for "
+        "benchmarks/, tools/, and examples/)",
+    )
+    parser.add_argument(
+        "--config",
+        type=Path,
+        help="pyproject.toml to read [tool.repro-lint] from "
+        "(default: nearest above the first path)",
+    )
+    parser.add_argument(
+        "--isolated",
+        action="store_true",
+        help="ignore any pyproject configuration (every rule applies everywhere)",
+    )
+    return parser
+
+
+def _resolve_config(args: argparse.Namespace) -> LintConfig:
+    if args.isolated:
+        return LintConfig()
+    pyproject: Optional[Path] = args.config
+    if pyproject is None and args.paths:
+        pyproject = find_pyproject(Path(args.paths[0]))
+    return load_config(pyproject)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.explain:
+        try:
+            rule = rule_by_id(args.explain)
+        except KeyError as error:
+            parser.error(str(error.args[0]))
+        print(rule.explain())
+        return 0
+    if args.list_rules:
+        for rule in RULES:
+            print(f"{rule.id}  {rule.title}")
+        return 0
+    if not args.paths:
+        parser.error("no paths given (or use --explain/--list-rules)")
+
+    missing = [path for path in args.paths if not Path(path).exists()]
+    if missing:
+        parser.error(f"no such path(s): {missing}")
+    try:
+        config = _resolve_config(args)
+    except LintConfigError as error:
+        parser.error(f"bad [tool.repro-lint] configuration: {error}")
+
+    report = lint_paths(args.paths, config=config)
+    print(report.render_json() if args.format == "json" else report.render_text())
+    if report.findings and not args.no_error:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,137 @@
+"""``[tool.repro-lint]`` configuration loading.
+
+The pyproject section scopes rules to the paths where their invariant
+actually holds.  Example::
+
+    [tool.repro-lint]
+    include = ["src/repro"]
+
+    [tool.repro-lint.per-rule-paths]
+    REP002 = ["src/repro/runtime", "src/repro/core", "src/repro/utils"]
+    REP005 = [
+        "src/repro/runtime/orchestrator.py",
+        "src/repro/runtime/backends.py",
+        "src/repro/runtime/scheduler.py",
+    ]
+
+Semantics:
+
+* ``include`` — the default lint roots when the CLI is invoked without
+  explicit paths;
+* ``per-rule-paths`` — a rule listed here runs **only** on files under one of
+  its paths (resolved relative to the pyproject's directory).  Rules without
+  an entry run everywhere.  Scoping narrows where a rule *applies*; it never
+  widens the set of files walked.
+
+Configuration is optional everywhere: ``LintConfig()`` (no scoping, every
+rule everywhere) is what the fixture-corpus tests use, and what the CLI's
+``--isolated`` flag selects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+try:  # Python 3.11+; tomllib is stdlib.  3.10 falls back to "no config".
+    import tomllib
+except ImportError:  # pragma: no cover - exercised only on 3.10
+    tomllib = None
+
+
+class LintConfigError(ValueError):
+    """The ``[tool.repro-lint]`` section is present but malformed."""
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Resolved lint configuration.
+
+    ``root`` anchors the relative paths in ``per_rule_paths``; it is the
+    directory containing the pyproject the config was loaded from (the
+    current directory for a default-constructed config).
+    """
+
+    root: Path = field(default_factory=Path.cwd)
+    include: Tuple[str, ...] = ()
+    per_rule_paths: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
+
+    def rule_applies(self, rule_id: str, path: Path) -> bool:
+        """Whether ``rule_id`` is in scope for ``path``.
+
+        Rules without a ``per-rule-paths`` entry apply everywhere.  A scoped
+        rule applies when ``path`` equals, or sits under, one of its
+        configured paths.
+        """
+        scopes = self.per_rule_paths.get(rule_id)
+        if not scopes:
+            return True
+        resolved = Path(path).resolve()
+        for scope in scopes:
+            anchor = (self.root / scope).resolve()
+            if resolved == anchor or anchor in resolved.parents:
+                return True
+        return False
+
+
+def find_pyproject(start: Path) -> Optional[Path]:
+    """The nearest ``pyproject.toml`` at or above ``start``, or ``None``."""
+    current = Path(start).resolve()
+    if current.is_file():
+        current = current.parent
+    for candidate in (current, *current.parents):
+        pyproject = candidate / "pyproject.toml"
+        if pyproject.is_file():
+            return pyproject
+    return None
+
+
+def _string_list(value, context: str) -> List[str]:
+    if not isinstance(value, list) or not all(isinstance(item, str) for item in value):
+        raise LintConfigError(f"{context} must be a list of strings, got {value!r}")
+    return list(value)
+
+
+def load_config(pyproject: Optional[Path]) -> LintConfig:
+    """Load the ``[tool.repro-lint]`` section of ``pyproject``.
+
+    A missing file, a missing section, or a runtime without ``tomllib``
+    (Python 3.10) all yield the permissive default config; a *present but
+    malformed* section raises :class:`LintConfigError` — a scoping typo must
+    not silently lint the wrong files.
+    """
+    if pyproject is None or tomllib is None:
+        return LintConfig()
+    pyproject = Path(pyproject)
+    if not pyproject.is_file():
+        return LintConfig()
+    with pyproject.open("rb") as handle:
+        document = tomllib.load(handle)
+    section = document.get("tool", {}).get("repro-lint")
+    if section is None:
+        return LintConfig(root=pyproject.parent)
+    if not isinstance(section, dict):
+        raise LintConfigError(f"[tool.repro-lint] must be a table, got {section!r}")
+    include = tuple(_string_list(section.get("include", []), "[tool.repro-lint] include"))
+    raw_scopes = section.get("per-rule-paths", {})
+    if not isinstance(raw_scopes, dict):
+        raise LintConfigError(
+            f"[tool.repro-lint.per-rule-paths] must be a table, got {raw_scopes!r}"
+        )
+    per_rule_paths = {
+        rule_id: tuple(
+            _string_list(paths, f"[tool.repro-lint.per-rule-paths] {rule_id}")
+        )
+        for rule_id, paths in raw_scopes.items()
+    }
+    unknown = sorted(set(section) - {"include", "per-rule-paths"})
+    if unknown:
+        raise LintConfigError(
+            f"[tool.repro-lint] has unknown key(s) {unknown}; "
+            "expected 'include' and/or 'per-rule-paths'"
+        )
+    return LintConfig(root=pyproject.parent, include=include, per_rule_paths=per_rule_paths)
+
+
+__all__ = ["LintConfig", "LintConfigError", "find_pyproject", "load_config"]

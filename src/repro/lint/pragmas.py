@@ -1,0 +1,142 @@
+"""``# repro-lint: disable=...`` line-pragma parsing.
+
+A pragma suppresses specific rules on **exactly the line it appears on** (the
+line a finding anchors to), and must carry a reason::
+
+    time.time()  # repro-lint: disable=REP003 -- ingest timestamp, never fingerprinted
+
+Several rules separate with commas (``disable=REP001,REP002``).  A pragma
+without a reason is itself reported as a malformed-pragma finding
+(:data:`MALFORMED_PRAGMA_ID`) rather than silently honoured: the reason is
+the audit trail that lets a reviewer decide whether the suppression is still
+justified, so it is not optional.
+
+:func:`format_pragma` is the inverse of :func:`parse_pragma_comment`; the
+property suite round-trips arbitrary rule-id lists through the pair.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+#: Pseudo rule id under which malformed pragmas are reported.  Not a real
+#: rule (it has no registry entry) and deliberately not suppressible.
+MALFORMED_PRAGMA_ID = "REP000"
+
+#: ``# repro-lint: disable=REP001,REP002 -- reason`` anywhere in a line.
+_PRAGMA_PATTERN = re.compile(
+    r"#\s*repro-lint:\s*disable=(?P<ids>[A-Za-z0-9_,\s]*?)"
+    r"(?:\s*--\s*(?P<reason>.*))?$"
+)
+
+_RULE_ID_PATTERN = re.compile(r"^[A-Z]{3}\d{3}$")
+
+
+@dataclass(frozen=True)
+class Pragma:
+    """One parsed suppression pragma."""
+
+    line: int
+    rule_ids: Tuple[str, ...]
+    reason: str
+
+    def suppresses(self, rule_id: str) -> bool:
+        """Whether this pragma suppresses ``rule_id`` (on its own line)."""
+        return rule_id in self.rule_ids
+
+
+@dataclass(frozen=True)
+class MalformedPragma:
+    """A pragma the parser recognized but refuses to honour."""
+
+    line: int
+    problem: str
+
+
+def format_pragma(rule_ids, reason: str) -> str:
+    """Render the canonical pragma comment for ``rule_ids`` and ``reason``."""
+    ids = ",".join(rule_ids)
+    return f"# repro-lint: disable={ids} -- {reason}"
+
+
+def parse_pragma_comment(text: str) -> Optional[Tuple[List[str], Optional[str], Optional[str]]]:
+    """Parse one source line's pragma, if any.
+
+    Returns ``None`` when the line carries no ``repro-lint`` pragma, else a
+    ``(rule_ids, reason, problem)`` triple where ``problem`` is a
+    human-readable defect description (missing reason, empty or malformed id
+    list) and ``None`` when the pragma is well-formed.
+    """
+    match = _PRAGMA_PATTERN.search(text)
+    if match is None:
+        return None
+    ids = [token.strip() for token in match.group("ids").split(",") if token.strip()]
+    reason = match.group("reason")
+    if reason is not None:
+        reason = reason.strip() or None
+    if not ids:
+        return [], reason, "pragma lists no rule ids (expected disable=REPxxx[,REPyyy])"
+    bad = [token for token in ids if not _RULE_ID_PATTERN.match(token)]
+    if bad:
+        return ids, reason, f"malformed rule id(s) {bad} (expected e.g. REP001)"
+    if reason is None:
+        return ids, reason, (
+            "pragma has no reason; append ' -- <why this line is exempt>' — "
+            "the reason is the audit trail for the suppression"
+        )
+    return ids, reason, None
+
+
+def _comment_tokens(source: str) -> Iterator[Tuple[int, str]]:
+    """``(line, text)`` for every *comment* token in ``source``.
+
+    Tokenizing (rather than regex-scanning raw lines) keeps pragma syntax
+    mentioned inside strings and docstrings from being treated as a live
+    pragma.  Tokenization errors (an unterminated string in a file that still
+    parses is impossible, but tokenize is stricter than ast about e.g. bare
+    form feeds) degrade to "no pragmas" — the engine has already produced the
+    findings, so the failure mode is a finding that should have been
+    suppressed, never a suppression that should not have happened.
+    """
+    reader = io.StringIO(source).readline
+    try:
+        for token in tokenize.generate_tokens(reader):
+            if token.type == tokenize.COMMENT:
+                yield token.start[0], token.string
+    except (tokenize.TokenizeError, IndentationError, SyntaxError):
+        return
+
+
+def parse_pragmas(source: str) -> Tuple[Dict[int, Pragma], List[MalformedPragma]]:
+    """Scan ``source``'s comments for pragmas, keyed by 1-based line number.
+
+    Returns the well-formed pragmas plus every malformed one; the engine
+    turns the latter into :data:`MALFORMED_PRAGMA_ID` findings so a typo'd
+    suppression fails loudly instead of silently not suppressing.
+    """
+    pragmas: Dict[int, Pragma] = {}
+    malformed: List[MalformedPragma] = []
+    for line_number, text in _comment_tokens(source):
+        parsed = parse_pragma_comment(text)
+        if parsed is None:
+            continue
+        ids, reason, problem = parsed
+        if problem is not None:
+            malformed.append(MalformedPragma(line=line_number, problem=problem))
+            continue
+        pragmas[line_number] = Pragma(line=line_number, rule_ids=tuple(ids), reason=reason)
+    return pragmas, malformed
+
+
+__all__ = [
+    "MALFORMED_PRAGMA_ID",
+    "MalformedPragma",
+    "Pragma",
+    "format_pragma",
+    "parse_pragma_comment",
+    "parse_pragmas",
+]

@@ -1,0 +1,33 @@
+"""The rule registry.
+
+Importing this package imports every rule module; each rule self-registers
+via :func:`repro.lint.rules.base.register`, and :data:`RULES` exposes the
+registry in rule-id order.  Adding a rule = adding a module here + importing
+it below; nothing else in the engine changes.
+"""
+
+from repro.lint.rules.base import REGISTRY, Rule, register
+from repro.lint.rules import (  # noqa: F401  (imports run the registrations)
+    rep001_rng,
+    rep002_ordering,
+    rep003_wallclock,
+    rep004_fingerprint,
+    rep005_blocking,
+    rep006_picklable,
+)
+
+#: Every registered rule, in rule-id order (stable report order).
+RULES = tuple(sorted(REGISTRY, key=lambda rule: rule.id))
+
+
+def rule_by_id(rule_id: str) -> Rule:
+    """The registered rule with ``rule_id`` (raises ``KeyError`` if unknown)."""
+    for rule in RULES:
+        if rule.id == rule_id:
+            return rule
+    raise KeyError(
+        f"unknown rule id {rule_id!r}; known rules: {[rule.id for rule in RULES]}"
+    )
+
+
+__all__ = ["RULES", "Rule", "register", "rule_by_id"]

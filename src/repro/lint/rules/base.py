@@ -1,0 +1,76 @@
+"""Rule base class and the registration decorator.
+
+A rule is a small object with identity (``id``, ``title``), the house
+rationale (``rationale`` — what ``--explain`` prints), worked examples
+(``example_bad`` / ``example_fix``), and one method::
+
+    def check(self, context: FileContext) -> Iterator[Finding]
+
+Rules register themselves with the :func:`register` class decorator at import
+time; :data:`repro.lint.rules.RULES` is the resulting ordered registry.
+Keeping the registry declarative (rather than hand-maintained lists) means a
+new rule module only has to exist and be imported to take effect — the same
+import-time self-registration idiom :mod:`repro.runtime.vectorize` uses for
+group runners.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Type
+
+from repro.lint.engine import FileContext, Finding
+
+#: Populated by :func:`register`; re-exported as ``repro.lint.rules.RULES``.
+REGISTRY: List["Rule"] = []
+
+
+class Rule:
+    """Base class for lint rules.  Subclasses set the class attributes."""
+
+    id: str = ""
+    title: str = ""
+    rationale: str = ""
+    example_bad: str = ""
+    example_fix: str = ""
+
+    def check(self, context: FileContext) -> Iterator[Finding]:
+        """Yield every violation of this rule in ``context``'s file."""
+        raise NotImplementedError
+
+    def finding(self, context: FileContext, node: ast.AST, message: str) -> Finding:
+        """A :class:`Finding` for ``node`` under this rule's id."""
+        return Finding(
+            path=context.display_path,
+            line=getattr(node, "lineno", 1),
+            column=getattr(node, "col_offset", 0) + 1,
+            rule_id=self.id,
+            message=message,
+        )
+
+    def explain(self) -> str:
+        """The ``--explain`` text: rationale plus worked examples."""
+        sections = [f"{self.id}: {self.title}", "", self.rationale.strip()]
+        if self.example_bad:
+            sections += ["", "Violation:", _indent(self.example_bad)]
+        if self.example_fix:
+            sections += ["", "Fix:", _indent(self.example_fix)]
+        return "\n".join(sections)
+
+
+def _indent(block: str) -> str:
+    return "\n".join(f"    {line}" for line in block.strip().splitlines())
+
+
+def register(rule_class: Type[Rule]) -> Type[Rule]:
+    """Class decorator: instantiate ``rule_class`` into the registry."""
+    instance = rule_class()
+    if not instance.id:
+        raise ValueError(f"rule {rule_class.__name__} has no id")
+    if any(existing.id == instance.id for existing in REGISTRY):
+        raise ValueError(f"duplicate rule id {instance.id}")
+    REGISTRY.append(instance)
+    return rule_class
+
+
+__all__ = ["REGISTRY", "Rule", "register"]

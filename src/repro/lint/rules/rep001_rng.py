@@ -1,0 +1,104 @@
+"""REP001 — unseeded / global RNG use.
+
+Randomness in this codebase arrives as an explicit ``np.random.Generator``
+(or ``SeedSequence``) parameter, derived from the per-cell seed tree that
+:mod:`repro.runtime.cells` builds.  Any draw from numpy's *module-level*
+legacy RNG (``np.random.rand()``, ``np.random.seed()``, …), from the stdlib
+``random`` module, or from an argument-less ``default_rng()`` consumes hidden
+global (or OS-entropy) state: the result depends on call order across the
+whole process, so serial, pooled, and vectorized runs stop being
+byte-identical the moment two cells interleave differently.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.engine import FileContext, Finding
+from repro.lint.rules.base import Rule, register
+
+#: ``numpy.random`` attributes that are *constructors of explicit state*
+#: rather than draws from the hidden global RNG.  Everything else under
+#: ``numpy.random`` called at module level is flagged.
+_NUMPY_ALLOWED = frozenset(
+    {
+        "Generator",
+        "SeedSequence",
+        "BitGenerator",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "SFC64",
+        "MT19937",
+        "default_rng",  # argless form handled separately below
+    }
+)
+
+#: Stdlib ``random`` attributes that construct explicitly seeded state.
+_STDLIB_ALLOWED = frozenset({"Random", "SystemRandom", "getstate", "setstate"})
+
+
+@register
+class UnseededRandomRule(Rule):
+    """Flag module-level RNG draws and argument-less ``default_rng()``."""
+
+    id = "REP001"
+    title = "unseeded or global RNG"
+    rationale = (
+        "Byte-identity across serial/pooled/vectorized/sharded runs requires every "
+        "random draw to come from an explicit np.random.Generator threaded in as a "
+        "parameter (the seam runtime/cells.py builds with per-cell SeedSequences). "
+        "np.random.<fn>() module calls and the stdlib random module draw from hidden "
+        "process-global state, so results depend on scheduling; default_rng() without "
+        "a seed pulls OS entropy and is different on every run."
+    )
+    example_bad = (
+        "noise = np.random.normal(size=n)          # global legacy RNG\n"
+        "rng = np.random.default_rng()             # OS entropy, differs per run\n"
+        "index = random.randrange(len(pool))       # stdlib global RNG"
+    )
+    example_fix = (
+        "def evaluate(..., rng: np.random.Generator) -> ...:\n"
+        "    noise = rng.normal(size=n)            # explicit, journaled seed tree\n"
+        "rng = np.random.default_rng(seed)         # seeded construction is fine"
+    )
+
+    def check(self, context: FileContext) -> Iterator[Finding]:
+        """Yield a finding for every global-RNG call in the file."""
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            qualified = context.resolve(node.func)
+            if qualified is None:
+                continue
+            if qualified == "numpy.random.default_rng" and not node.args and not node.keywords:
+                yield self.finding(
+                    context,
+                    node,
+                    "default_rng() without a seed draws OS entropy; pass the cell's "
+                    "SeedSequence/seed so runs are reproducible",
+                )
+                continue
+            if qualified.startswith("numpy.random."):
+                tail = qualified[len("numpy.random."):]
+                if "." not in tail and tail not in _NUMPY_ALLOWED:
+                    yield self.finding(
+                        context,
+                        node,
+                        f"np.random.{tail}() draws from the hidden global RNG; thread an "
+                        "explicit np.random.Generator parameter instead",
+                    )
+                continue
+            if qualified.startswith("random."):
+                tail = qualified[len("random."):]
+                if "." not in tail and tail not in _STDLIB_ALLOWED:
+                    yield self.finding(
+                        context,
+                        node,
+                        f"random.{tail}() uses the stdlib's process-global RNG; use an "
+                        "explicit np.random.Generator (or a seeded random.Random)",
+                    )
+
+
+__all__ = ["UnseededRandomRule"]

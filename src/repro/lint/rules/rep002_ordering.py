@@ -1,0 +1,94 @@
+"""REP002 — unordered iteration feeding deterministic output.
+
+Journals, plan builders, shard manifests, and the result store all emit
+artifacts whose **byte layout** is part of the repo's identity contract.
+Iterating a ``set``/``frozenset`` or a directory listing (``os.listdir``,
+``glob.glob``, ``Path.iterdir``/``.glob``/``.rglob``) feeds those outputs in
+hash- or filesystem-order — stable enough to pass local tests, different
+enough across machines and runs to break a merge diff.  Wrap the iterable in
+``sorted(...)`` at the point of iteration.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Tuple
+
+from repro.lint.engine import FileContext, Finding
+from repro.lint.rules.base import Rule, register
+
+#: Import-qualified functions that return filesystem-ordered listings.
+_LISTING_FUNCTIONS = frozenset(
+    {"os.listdir", "os.scandir", "glob.glob", "glob.iglob"}
+)
+
+#: Method names that return filesystem-ordered listings on path-like objects.
+_LISTING_METHODS = frozenset({"glob", "rglob", "iterdir"})
+
+
+@register
+class UnorderedIterationRule(Rule):
+    """Flag direct iteration over sets and unsorted directory listings."""
+
+    id = "REP002"
+    title = "unordered iteration feeding deterministic output"
+    rationale = (
+        "Anything that ends up in a journal, plan, shard manifest, store row, or "
+        "rendered payload must be produced in a deterministic order: set iteration "
+        "follows hash order (which varies with insertion history and across "
+        "processes) and os.listdir/glob/iterdir follow filesystem order (which "
+        "varies across machines — exactly what multi-machine shard merges cannot "
+        "tolerate).  Wrap the iterable in sorted(...) where it is consumed."
+    )
+    example_bad = (
+        "for path in journal_dir.glob('*.jsonl'):   # filesystem order\n"
+        "    ingest(path)\n"
+        "for label in {c.label for c in cells}:     # hash order\n"
+        "    emit(label)"
+    )
+    example_fix = (
+        "for path in sorted(journal_dir.glob('*.jsonl')):\n"
+        "    ingest(path)\n"
+        "for label in sorted({c.label for c in cells}):\n"
+        "    emit(label)"
+    )
+
+    def check(self, context: FileContext) -> Iterator[Finding]:
+        """Yield a finding for every unordered iteration site in the file."""
+        for node in ast.walk(context.tree):
+            sources: List[Tuple[ast.expr, ast.expr]] = []
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                sources.append((node.iter, node.iter))
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+                sources.extend((gen.iter, gen.iter) for gen in node.generators)
+            for iterable, anchor in sources:
+                reason = self._unordered_reason(context, iterable)
+                if reason is not None:
+                    yield self.finding(
+                        context,
+                        anchor,
+                        f"iterating {reason}; wrap the iterable in sorted(...) so "
+                        "downstream output is deterministic",
+                    )
+
+    def _unordered_reason(self, context: FileContext, node: ast.expr) -> Optional[str]:
+        """Why ``node`` iterates in unstable order, or ``None`` if it does not."""
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return "a set literal (hash order)"
+        if not isinstance(node, ast.Call):
+            return None
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in ("set", "frozenset"):
+            return f"{func.id}(...) (hash order)"
+        qualified = context.resolve(func)
+        if qualified in _LISTING_FUNCTIONS:
+            return f"{qualified}(...) (filesystem order)"
+        if isinstance(func, ast.Attribute) and func.attr in _LISTING_METHODS:
+            # A method named glob/rglob/iterdir on *any* receiver: the only
+            # such objects in this codebase are pathlib paths, and a false
+            # positive here is a one-word sorted() wrap.
+            return f".{func.attr}(...) (filesystem order)"
+        return None
+
+
+__all__ = ["UnorderedIterationRule"]

@@ -1,0 +1,78 @@
+"""REP003 — wall-clock time in determinism-critical modules.
+
+A ``time.time()`` or ``datetime.now()`` value that reaches a fingerprinted or
+journaled structure makes the artifact different on every run by
+construction, defeating resume validation and byte-identity diffs.  The rule
+flags wall-clock reads in the modules scoped via ``[tool.repro-lint]``
+(journal, store, sharding, cells, residency, plans — the layers whose output
+participates in fingerprints); monotonic/perf counters for *durations* are
+not flagged, and genuinely intentional provenance timestamps (the store's
+``ingested_at`` column) carry an explicit pragma with a reason.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.engine import FileContext, Finding
+from repro.lint.rules.base import Rule, register
+
+#: Wall-clock reads.  ``time.monotonic``/``time.perf_counter`` are fine:
+#: they measure durations and never pretend to be reproducible values.
+_WALL_CLOCK = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.localtime",
+        "time.gmtime",
+        "time.ctime",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+
+@register
+class WallClockRule(Rule):
+    """Flag wall-clock reads where they can flow into journaled artifacts."""
+
+    id = "REP003"
+    title = "wall-clock time in fingerprinted/journaled structures"
+    rationale = (
+        "Journals, plan fingerprints, and store rows must be functions of the plan "
+        "alone — a wall-clock read embedded in them makes every run's bytes unique, "
+        "so resume validation and identity diffs break.  Durations belong to "
+        "time.monotonic()/time.perf_counter(); provenance timestamps that are "
+        "deliberately non-reproducible (e.g. the store's ingested_at column) must "
+        "carry a pragma with a reason, which is the documented audit trail."
+    )
+    example_bad = (
+        "header = {'experiment_id': plan.experiment_id,\n"
+        "          'written_at': time.time()}        # journal bytes now unique per run"
+    )
+    example_fix = (
+        "header = {'experiment_id': plan.experiment_id}  # content-addressed only\n"
+        "# ...or, for deliberate provenance metadata kept out of fingerprints:\n"
+        "row = (path, time.time())  # repro-lint: disable=REP003 -- ingest provenance, never fingerprinted"
+    )
+
+    def check(self, context: FileContext) -> Iterator[Finding]:
+        """Yield a finding for every wall-clock call in the file."""
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            qualified = context.resolve(node.func)
+            if qualified in _WALL_CLOCK:
+                yield self.finding(
+                    context,
+                    node,
+                    f"{qualified}() is wall-clock: journaled/fingerprinted structures "
+                    "must not depend on when a run happened (use time.monotonic() for "
+                    "durations, or pragma a deliberate provenance timestamp)",
+                )
+
+
+__all__ = ["WallClockRule"]

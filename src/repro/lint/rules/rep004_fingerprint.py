@@ -1,0 +1,131 @@
+"""REP004 — machine-local paths escaping into ``fingerprint_token``.
+
+The version-2 journal fingerprint exists because version 1 digested
+``repr()`` of cell kwargs and thereby the absolute ``cache_dir`` inside
+:class:`~repro.runtime.residency.PolicyRef` — journals written on one machine
+silently invalidated everywhere else (the PR 3 bug).  Every
+``fingerprint_token`` implementation is a promise of machine independence;
+this rule is the permanent regression guard on that promise, flagging the
+constructs through which an absolute path can leak into the token.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.engine import FileContext, Finding
+from repro.lint.rules.base import Rule, register
+
+#: Calls that *produce* machine-local absolute paths.
+_PATH_PRODUCERS = frozenset(
+    {
+        "os.getcwd",
+        "os.getcwdb",
+        "os.path.abspath",
+        "os.path.realpath",
+        "os.path.expanduser",
+        "os.fspath",
+        "pathlib.Path.cwd",
+        "pathlib.Path.home",
+    }
+)
+
+#: Method names that absolutize a path object.
+_PATH_METHODS = frozenset({"resolve", "absolute", "expanduser"})
+
+#: Identifier fragments that mark a value as path-typed by naming convention
+#: (``cache_dir``, ``journal_path``, ``output_root`` ...).
+_PATHLIKE_FRAGMENTS = ("path", "dir", "cwd", "root", "folder", "file")
+
+
+def _looks_pathlike(node: ast.expr) -> bool:
+    """Whether ``node`` names something that is, by convention, a path."""
+    if isinstance(node, ast.Attribute):
+        name = node.attr
+    elif isinstance(node, ast.Name):
+        name = node.id
+    else:
+        return False
+    lowered = name.lower()
+    return any(fragment in lowered for fragment in _PATHLIKE_FRAGMENTS)
+
+
+@register
+class FingerprintPathRule(Rule):
+    """Flag path-leaking constructs inside ``fingerprint_token`` bodies."""
+
+    id = "REP004"
+    title = "fingerprint_token can emit machine-local paths"
+    rationale = (
+        "fingerprint_token() is the machine-independence seam of the version-2 "
+        "journal protocol: its output is digested into every plan fingerprint, so "
+        "an absolute path inside it recreates the PR 3 bug class — journals that "
+        "resume on the machine that wrote them and silently invalidate everywhere "
+        "else.  Tokens must identify *content* (keys, fields, parameters), never "
+        "*location* (cwd, resolved paths, cache directories)."
+    )
+    example_bad = (
+        "def fingerprint_token(self) -> str:\n"
+        "    return f'Ref({self.cache_dir}/{self.key})'   # absolute path digested"
+    )
+    example_fix = (
+        "def fingerprint_token(self) -> str:\n"
+        "    # cache_dir deliberately excluded: the key already encodes content\n"
+        "    return f'Ref(key={self.key!r}, field={self.field!r})'"
+    )
+
+    def check(self, context: FileContext) -> Iterator[Finding]:
+        """Yield a finding for every path leak inside a ``fingerprint_token``."""
+        for node in ast.walk(context.tree):
+            if (
+                isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and node.name == "fingerprint_token"
+            ):
+                yield from self._check_body(context, node)
+
+    def _check_body(self, context: FileContext, func: ast.AST) -> Iterator[Finding]:
+        for node in ast.walk(func):
+            if isinstance(node, ast.Call):
+                qualified = context.resolve(node.func)
+                if qualified in _PATH_PRODUCERS:
+                    yield self.finding(
+                        context,
+                        node,
+                        f"{qualified}() inside fingerprint_token embeds a machine-local "
+                        "path into the plan fingerprint (the PR 3 bug class)",
+                    )
+                    continue
+                if (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr in _PATH_METHODS
+                ):
+                    yield self.finding(
+                        context,
+                        node,
+                        f".{node.func.attr}() inside fingerprint_token absolutizes a "
+                        "path; tokens must identify content, not location",
+                    )
+                    continue
+                if (
+                    isinstance(node.func, ast.Name)
+                    and node.func.id in ("str", "repr")
+                    and len(node.args) == 1
+                    and _looks_pathlike(node.args[0])
+                ):
+                    yield self.finding(
+                        context,
+                        node,
+                        f"{node.func.id}() of a path-typed value inside "
+                        "fingerprint_token stringifies a machine-local location",
+                    )
+            elif isinstance(node, ast.FormattedValue) and _looks_pathlike(node.value):
+                yield self.finding(
+                    context,
+                    node.value,
+                    "f-string interpolation of a path-typed value inside "
+                    "fingerprint_token embeds a machine-local location",
+                )
+
+
+__all__ = ["FingerprintPathRule"]

@@ -1,0 +1,170 @@
+"""REP005 — blocking calls inside ``async def`` bodies.
+
+The orchestrator is a single-threaded asyncio loop driving every shard's
+launch, journal-tail, and stderr-drain concurrently.  One synchronous
+``time.sleep``/``subprocess.run``/``.wait()``/unbounded ``.read()`` freezes
+*all* of them — which is exactly how the PR 5 deadlock happened: a blocking
+stderr drain against a fork-inherited process group that never exited.  Async
+bodies must await (``asyncio.sleep``, ``create_subprocess_exec``,
+``process.wait()`` under ``await``) or hand blocking work to an executor.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from repro.lint.engine import FileContext, Finding
+from repro.lint.rules.base import Rule, register
+
+#: Import-qualified synchronous calls that block the event loop outright.
+_BLOCKING_CALLS = frozenset(
+    {
+        "time.sleep",
+        "subprocess.run",
+        "subprocess.call",
+        "subprocess.check_call",
+        "subprocess.check_output",
+        "subprocess.getoutput",
+        "subprocess.getstatusoutput",
+        "os.system",
+        "os.wait",
+        "os.waitpid",
+        "select.select",
+    }
+)
+
+#: ``asyncio`` wrappers whose arguments are coroutine objects, not calls
+#: being executed synchronously — ``asyncio.ensure_future(launch.wait())``
+#: schedules the wait, it does not block on it.
+_ASYNC_WRAPPERS = frozenset(
+    {
+        "asyncio.ensure_future",
+        "asyncio.create_task",
+        "asyncio.gather",
+        "asyncio.wait",
+        "asyncio.wait_for",
+        "asyncio.shield",
+        "asyncio.as_completed",
+        "asyncio.run_coroutine_threadsafe",
+    }
+)
+
+
+@register
+class BlockingAsyncRule(Rule):
+    """Flag synchronous blocking calls lexically inside ``async def``."""
+
+    id = "REP005"
+    title = "blocking call in async orchestration code"
+    rationale = (
+        "The orchestrator/backends/scheduler run as one asyncio event loop; a "
+        "synchronous sleep, subprocess call, bare .wait(), or unbounded read "
+        "blocks every concurrent shard at once and can deadlock outright against "
+        "a child that will not exit until it is polled (the PR 5 stderr-drain "
+        "deadlock).  Use the asyncio equivalents — asyncio.sleep, "
+        "create_subprocess_exec, await process.wait() — or run_in_executor for "
+        "genuinely synchronous work."
+    )
+    example_bad = (
+        "async def drain(self, process):\n"
+        "    process.wait()                      # blocks the whole event loop\n"
+        "    time.sleep(self.poll_interval)      # every shard stalls"
+    )
+    example_fix = (
+        "async def drain(self, process):\n"
+        "    await process.wait()\n"
+        "    await asyncio.sleep(self.poll_interval)"
+    )
+
+    def check(self, context: FileContext) -> Iterator[Finding]:
+        """Yield a finding for each blocking call inside an async function."""
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.AsyncFunctionDef):
+                yield from self._check_async_body(context, node)
+
+    def _collect(self, func: ast.AsyncFunctionDef) -> Set[ast.AST]:
+        """Nodes lexically inside ``func`` but not inside a nested sync def.
+
+        A nested synchronous ``def`` is a separate callable (it may run on an
+        executor thread), so its body is out of scope; nested ``async def``
+        bodies are visited through the outer walk anyway.
+        """
+        selected: Set[ast.AST] = set()
+
+        def walk(node: ast.AST) -> None:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                    continue
+                selected.add(child)
+                walk(child)
+
+        walk(func)
+        return selected
+
+    def _check_async_body(
+        self, context: FileContext, func: ast.AsyncFunctionDef
+    ) -> Iterator[Finding]:
+        body = self._collect(func)
+        for node in body:
+            if not isinstance(node, ast.Call):
+                continue
+            qualified = context.resolve(node.func)
+            if qualified in _BLOCKING_CALLS:
+                yield self.finding(
+                    context,
+                    node,
+                    f"{qualified}() blocks the event loop inside async def "
+                    f"{func.name!r}; use the asyncio equivalent or run_in_executor",
+                )
+                continue
+            if self._is_bare_wait(context, node):
+                yield self.finding(
+                    context,
+                    node,
+                    f"synchronous .wait() inside async def {func.name!r} blocks the "
+                    "event loop (the PR 5 deadlock class); await it, or wrap the "
+                    "coroutine in an asyncio task",
+                )
+                continue
+            if self._is_unbounded_read(node):
+                yield self.finding(
+                    context,
+                    node,
+                    f"unbounded synchronous file read inside async def {func.name!r} "
+                    "blocks the event loop on slow/large input; read incrementally "
+                    "or use an executor",
+                )
+
+    def _is_bare_wait(self, context: FileContext, node: ast.Call) -> bool:
+        """A ``.wait()`` call neither awaited nor handed to asyncio."""
+        if not (isinstance(node.func, ast.Attribute) and node.func.attr == "wait"):
+            return False
+        parent = context.parent_of(node)
+        if isinstance(parent, ast.Await):
+            return False
+        if isinstance(parent, ast.Call):
+            wrapper = context.resolve(parent.func)
+            if wrapper in _ASYNC_WRAPPERS:
+                return False
+        return True
+
+    @staticmethod
+    def _is_unbounded_read(node: ast.Call) -> bool:
+        """``open(...).read()`` / ``.read_text()`` / ``.read_bytes()`` forms."""
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            return False
+        if func.attr in ("read_text", "read_bytes"):
+            return True
+        if func.attr == "read" and not node.args and not node.keywords:
+            receiver = func.value
+            return (
+                isinstance(receiver, ast.Call)
+                and isinstance(receiver.func, ast.Name)
+                and receiver.func.id == "open"
+            )
+        return False
+
+
+__all__ = ["BlockingAsyncRule"]

@@ -1,0 +1,127 @@
+"""REP006 — non-module-level callables crossing the process-pool seam.
+
+The pool pickles every submitted callable by *qualified name*, and the
+vectorize registry is keyed by function *object* — both seams silently break
+for lambdas, closures, and locally defined functions: the pool raises an
+opaque ``PicklingError`` at submit time (or worse, the fork start method
+masks it locally and spawn-based platforms break later), and a worker-side
+registry lookup misses because the unpickled cell function is a different
+object than the locally created closure that registered the runner.  Only
+module-level functions may be submitted to the pool or registered as group
+runners.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set
+
+from repro.lint.engine import FileContext, Finding
+from repro.lint.rules.base import Rule, register
+
+#: Method names that submit callables to a process pool.
+_SUBMIT_METHODS = frozenset({"submit", "apply_async"})
+
+#: Functions (by import-qualified or bare name) that register callables in a
+#: function-object-keyed registry.
+_REGISTRY_FUNCTIONS = frozenset(
+    {
+        "repro.runtime.vectorize.register_group_runner",
+        "register_group_runner",
+    }
+)
+
+
+@register
+class PicklableCallableRule(Rule):
+    """Flag lambdas/closures handed to pool.submit or the vectorize registry."""
+
+    id = "REP006"
+    title = "non-module-level callable submitted to the pool or registry"
+    rationale = (
+        "ProcessPoolExecutor pickles submitted callables by qualified name, and "
+        "runtime/vectorize.py keys its group-runner registry by function object; "
+        "a lambda, closure, or locally defined function breaks both — pickling "
+        "fails (sometimes only under the spawn start method, i.e. not on the "
+        "machine that wrote the code), and the worker-side registry repopulated "
+        "by import cannot contain a function object created inside another "
+        "function.  Define the callable at module level."
+    )
+    example_bad = (
+        "def launch(cells):\n"
+        "    def batch(cell):            # local function: unpicklable\n"
+        "        return cell.run()\n"
+        "    pool.submit(batch, cells[0])\n"
+        "    register_group_runner(fn, lambda group: [run(c) for c in group])"
+    )
+    example_fix = (
+        "def _run_batch(cell):            # module level: picklable, importable\n"
+        "    return cell.run()\n"
+        "\n"
+        "def launch(cells):\n"
+        "    pool.submit(_run_batch, cells[0])\n"
+        "    register_group_runner(fn, _run_group)"
+    )
+
+    def check(self, context: FileContext) -> Iterator[Finding]:
+        """Yield a finding for every non-module-level callable at the seams."""
+        nested = self._nested_function_names(context.tree)
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            candidates = self._submitted_callables(context, node)
+            for argument in candidates:
+                problem = self._problem(argument, nested)
+                if problem is not None:
+                    yield self.finding(context, argument, problem)
+
+    @staticmethod
+    def _nested_function_names(tree: ast.Module) -> Set[str]:
+        """Names of functions defined inside another function (unpicklable)."""
+        nested: Set[str] = set()
+
+        def walk(node: ast.AST, inside_function: bool) -> None:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    if inside_function:
+                        nested.add(child.name)
+                    walk(child, True)
+                else:
+                    walk(child, inside_function)
+
+        walk(tree, False)
+        return nested
+
+    def _submitted_callables(self, context: FileContext, node: ast.Call) -> List[ast.expr]:
+        """The argument expressions of ``node`` that must be module-level."""
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr in _SUBMIT_METHODS:
+            return node.args[:1]
+        qualified = context.resolve(func)
+        name = qualified or (func.id if isinstance(func, ast.Name) else None)
+        if name in _REGISTRY_FUNCTIONS:
+            # Both the keying function and the runner must be module-level.
+            return list(node.args[:2])
+        return []
+
+    def _problem(self, argument: ast.expr, nested: Set[str]) -> Optional[str]:
+        """Why ``argument`` cannot cross the pool/registry seam, or ``None``."""
+        if isinstance(argument, ast.Lambda):
+            return (
+                "lambda submitted across the process-pool/registry seam: lambdas "
+                "cannot be pickled and cannot be re-found by worker-side import"
+            )
+        if isinstance(argument, ast.Call):
+            # functools.partial(...) is picklable iff its inner callable is.
+            inner = argument.args[:1]
+            return self._problem(inner[0], nested) if inner else None
+        if isinstance(argument, ast.Name) and argument.id in nested:
+            return (
+                f"{argument.id!r} is defined inside a function: the pool cannot "
+                "pickle it and workers repopulating the registry by import will "
+                "never see the same function object — define it at module level"
+            )
+        return None
+
+
+__all__ = ["PicklableCallableRule"]

@@ -536,11 +536,21 @@ class SlurmLaunch(ShardLaunch):
         return code_value or 1
 
     async def stderr(self) -> str:
-        """The job's stderr file contents (``sbatch --error`` target)."""
-        try:
-            return self._stderr_path.read_text(encoding="utf8", errors="replace")
-        except OSError:
-            return ""
+        """The job's stderr file contents (``sbatch --error`` target).
+
+        The read runs on an executor thread: a shard's stderr log lives on
+        the shared (often network) filesystem and can be arbitrarily large,
+        and a synchronous read here would stall every other shard's poll
+        loop (REP005 — the PR 5 deadlock class).
+        """
+
+        def _read() -> str:
+            try:
+                return self._stderr_path.read_text(encoding="utf8", errors="replace")
+            except OSError:
+                return ""
+
+        return await asyncio.get_running_loop().run_in_executor(None, _read)
 
     async def close(self) -> None:
         """Ensure the job is not orphaned: cancel if unfinished, then reap."""

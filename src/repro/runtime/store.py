@@ -387,13 +387,15 @@ class ResultStore:
             self._connection.execute(
                 "UPDATE sources SET mtime_ns = ?, size_bytes = ?, ingested_at = ? "
                 "WHERE source_id = ?",
-                (stat.st_mtime_ns, stat.st_size, time.time(), source_id),
+                # ingested_at is provenance metadata: sources-table only,
+                # never journaled, never fingerprinted — hence the exemption.
+                (stat.st_mtime_ns, stat.st_size, time.time(), source_id),  # repro-lint: disable=REP003 -- ingested_at is provenance metadata, never fingerprinted
             )
             return source_id
         cursor = self._connection.execute(
             "INSERT INTO sources (path, kind, mtime_ns, size_bytes, ingested_at) "
             "VALUES (?, ?, ?, ?, ?)",
-            (resolved, kind, stat.st_mtime_ns, stat.st_size, time.time()),
+            (resolved, kind, stat.st_mtime_ns, stat.st_size, time.time()),  # repro-lint: disable=REP003 -- ingested_at is provenance metadata, never fingerprinted
         )
         return cursor.lastrowid
 

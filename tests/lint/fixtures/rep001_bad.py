@@ -1,0 +1,22 @@
+# True positives for REP001: global / unseeded RNG state.
+import random
+
+import numpy as np
+
+
+def sample_faults(count):
+    # Module-level numpy RNG draws from hidden global state.
+    bits = np.random.randint(0, 32, size=count)
+    noise = np.random.standard_normal(count)
+    return bits, noise
+
+
+def pick_agent(agents):
+    # stdlib global RNG is just as non-reproducible.
+    random.shuffle(agents)
+    return random.choice(agents)
+
+
+def make_generator():
+    # Argless default_rng() seeds from OS entropy: different every run.
+    return np.random.default_rng()

@@ -1,0 +1,22 @@
+# Near-miss negatives for REP001: explicit, seeded RNG plumbing.
+import random
+
+import numpy as np
+
+
+def sample_faults(count, rng: np.random.Generator):
+    # Drawing from an injected Generator is the sanctioned pattern.
+    bits = rng.integers(0, 32, size=count)
+    noise = rng.standard_normal(count)
+    return bits, noise
+
+
+def pick_agent(agents, seed):
+    # Instantiating stdlib Random with a seed is allowed.
+    local = random.Random(seed)
+    return local.choice(agents)
+
+
+def make_generator(seed):
+    # Seeded default_rng is the repo-wide idiom, not a finding.
+    return np.random.default_rng(np.random.SeedSequence(seed))

@@ -1,0 +1,25 @@
+# True positives for REP002: unordered iteration feeding output.
+import glob
+import os
+
+
+def collect_shards(root):
+    rows = []
+    for name in os.listdir(root):
+        rows.append(name)
+    return rows
+
+
+def collect_journals(pattern):
+    return [path for path in glob.glob(pattern)]
+
+
+def union_agents(a, b):
+    merged = []
+    for agent in set(a + b):
+        merged.append(agent)
+    return merged
+
+
+def walk_cache(cache_dir):
+    return [entry for entry in cache_dir.glob("*.json")]

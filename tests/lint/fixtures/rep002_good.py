@@ -1,0 +1,31 @@
+# Near-miss negatives for REP002: the same listings, deterministically ordered.
+import glob
+import os
+
+
+def collect_shards(root):
+    rows = []
+    for name in sorted(os.listdir(root)):
+        rows.append(name)
+    return rows
+
+
+def collect_journals(pattern):
+    return [path for path in sorted(glob.glob(pattern))]
+
+
+def union_agents(a, b):
+    merged = []
+    for agent in sorted(set(a) | set(b)):
+        merged.append(agent)
+    return merged
+
+
+def walk_cache(cache_dir):
+    return [entry for entry in sorted(cache_dir.glob("*.json"))]
+
+
+def membership_only(names):
+    # Building a set for membership tests (not iterating it) is fine.
+    wanted = set(names)
+    return "agent-0" in wanted

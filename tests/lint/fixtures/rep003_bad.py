@@ -1,0 +1,16 @@
+# True positives for REP003: wall-clock reads in fingerprint-adjacent code.
+import datetime
+import time
+
+
+def stamp_payload(payload):
+    payload["generated_at"] = time.time()
+    return payload
+
+
+def journal_header():
+    return {"written": datetime.datetime.now().isoformat()}
+
+
+def label_run():
+    return f"run-{datetime.date.today()}"

@@ -1,0 +1,19 @@
+# Near-miss negatives for REP003: monotonic timing and injected clocks.
+import time
+
+
+def measure(fn):
+    # perf_counter/monotonic are for durations, never serialized as identity.
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def heartbeat_interval():
+    return time.monotonic()
+
+
+def stamp_payload(payload, clock):
+    # An injected clock callable keeps the caller in control of determinism.
+    payload["generated_at"] = clock()
+    return payload

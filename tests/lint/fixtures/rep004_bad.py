@@ -1,0 +1,34 @@
+# True positives for REP004: the PR 3 bug class, reproduced.
+#
+# The original defect: PolicyRef.fingerprint_token() digested repr(self),
+# which included the absolute cache_dir path — journals fingerprinted on one
+# machine could never be byte-identical on another.
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+
+@dataclass(frozen=True)
+class PolicyRefLikePr3Bug:
+    cache_dir: str
+    key: str
+    field: str
+
+    def fingerprint_token(self):
+        # repr() of a value whose name says "dir" — the literal PR 3 bug.
+        return repr(self.cache_dir) + self.key
+
+
+@dataclass(frozen=True)
+class ResolvingRef:
+    path: Path
+
+    def fingerprint_token(self):
+        # .resolve() bakes the machine's filesystem layout into the token.
+        return str(self.path.resolve())
+
+
+def fingerprint_token(workdir):
+    # Free function variant: abspath + f-string of a pathlike name.
+    absolute_dir = os.path.abspath(workdir)
+    return f"cell@{absolute_dir}"

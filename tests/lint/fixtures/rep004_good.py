@@ -1,0 +1,30 @@
+# Near-miss negatives for REP004: location-independent fingerprint tokens.
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+
+@dataclass(frozen=True)
+class PolicyRefFixed:
+    cache_dir: str
+    key: str
+    field: str
+
+    def fingerprint_token(self):
+        # The PR 3 fix: identity is the cache key + field, never the path.
+        return f"policy:{self.key}:{self.field}"
+
+
+@dataclass(frozen=True)
+class RelativeRef:
+    path: Path
+
+    def fingerprint_token(self):
+        # A repo-relative name (no resolve/abspath) is machine-portable.
+        return f"artifact:{self.path.name}"
+
+
+def load_config(workdir):
+    # Path resolution OUTSIDE fingerprint_token is ordinary code.
+    absolute = os.path.abspath(workdir)
+    return Path(absolute, "config.json")

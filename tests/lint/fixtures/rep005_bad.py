@@ -1,0 +1,29 @@
+# True positives for REP005: the PR 5 bug class, reproduced.
+#
+# The original defect: the orchestrator's async poll loop drained a launch's
+# stderr with a blocking read while the child still held the pipe open —
+# deadlocking the event loop against a fork-inherited process group.
+import subprocess
+import time
+from pathlib import Path
+
+
+async def poll_launch_pr5_bug(launch):
+    # Blocking file read on the event loop: the literal PR 5 deadlock shape.
+    stderr = Path(launch.stderr_path).read_text()
+    return stderr
+
+
+async def wait_for_job(process):
+    # Bare .wait() not awaited and not wrapped: blocks the loop.
+    process.wait()
+
+
+async def throttle():
+    # time.sleep inside async def stalls every other coroutine.
+    time.sleep(0.5)
+
+
+async def run_sbatch(script):
+    # subprocess.run blocks until the child exits.
+    return subprocess.run(["sbatch", script], capture_output=True)

@@ -1,0 +1,36 @@
+# Near-miss negatives for REP005: the sanctioned async equivalents.
+import asyncio
+import subprocess
+import time
+from pathlib import Path
+
+
+async def poll_launch_fixed(launch):
+    # The PR 5 fix shape: offload the blocking read to the executor.
+    def _read() -> str:
+        return Path(launch.stderr_path).read_text()
+
+    return await asyncio.get_running_loop().run_in_executor(None, _read)
+
+
+async def wait_for_job(process):
+    # Awaiting an asyncio subprocess wait is the non-blocking form.
+    await process.wait()
+
+
+async def schedule_wait(launch):
+    # .wait() handed to an async wrapper is not a blocking call.
+    return asyncio.ensure_future(launch.wait())
+
+
+async def throttle():
+    await asyncio.sleep(0.5)
+
+
+def run_sbatch(script):
+    # Blocking subprocess.run in a SYNC function is ordinary code.
+    return subprocess.run(["sbatch", script], capture_output=True)
+
+
+def measure():
+    time.sleep(0.01)

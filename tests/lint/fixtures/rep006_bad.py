@@ -1,0 +1,28 @@
+# True positives for REP006: unpicklable / unimportable pool callables.
+import functools
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.runtime.vectorize import register_group_runner
+
+
+def run_batch(cells):
+    def _evaluate(cell):
+        return cell * 2
+
+    with ProcessPoolExecutor() as pool:
+        # Nested function: the child process cannot import it by name.
+        futures = [pool.submit(_evaluate, cell) for cell in cells]
+        # Lambdas are never picklable.
+        extra = pool.submit(lambda: 0)
+        # functools.partial of a nested function is just as broken.
+        bound = pool.submit(functools.partial(_evaluate, cells[0]))
+    return futures, extra, bound
+
+
+def install_runner(evaluate_cell):
+    def _group_runner(cells, context):
+        return [evaluate_cell(cell) for cell in cells]
+
+    # The vectorize registry is keyed by function object and repopulated by
+    # worker-side import — a nested runner silently misses in the child.
+    register_group_runner(evaluate_cell, _group_runner)

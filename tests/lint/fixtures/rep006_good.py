@@ -1,0 +1,29 @@
+# Near-miss negatives for REP006: module-level, importable pool callables.
+import functools
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.runtime.vectorize import register_group_runner
+
+
+def _evaluate(cell):
+    return cell * 2
+
+
+def _evaluate_scaled(cell, factor):
+    return cell * factor
+
+
+def _group_runner(cells, context):
+    return [_evaluate(cell) for cell in cells]
+
+
+def run_batch(cells):
+    with ProcessPoolExecutor() as pool:
+        # Module-level functions import cleanly in the worker process.
+        futures = [pool.submit(_evaluate, cell) for cell in cells]
+        # partial of a module-level function pickles fine.
+        bound = pool.submit(functools.partial(_evaluate_scaled, cells[0], factor=3))
+    return futures, bound
+
+
+register_group_runner(_evaluate, _group_runner)

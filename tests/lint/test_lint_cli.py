@@ -1,0 +1,116 @@
+"""The ``repro-lint`` CLI: exit codes, formats, explain/list, config flags."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.lint.cli import main
+from repro.lint.rules import RULES
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+FIXTURES = Path(__file__).parent / "fixtures"
+
+CLEAN = "x = 1\n"
+DIRTY = "import time\n\nat = time.time()\n"
+
+
+def _write(tmp_path, name, source):
+    path = tmp_path / name
+    path.write_text(source, encoding="utf8")
+    return path
+
+
+def test_clean_path_exits_zero(tmp_path, capsys):
+    path = _write(tmp_path, "clean.py", CLEAN)
+    assert main([str(path), "--isolated"]) == 0
+    assert "0 finding(s) in 1 file" in capsys.readouterr().out
+
+
+def test_findings_exit_one(tmp_path, capsys):
+    path = _write(tmp_path, "dirty.py", DIRTY)
+    assert main([str(path), "--isolated"]) == 1
+    out = capsys.readouterr().out
+    assert "REP003" in out and f"{path}:3:" in out
+
+
+def test_no_error_is_advisory(tmp_path, capsys):
+    path = _write(tmp_path, "dirty.py", DIRTY)
+    assert main([str(path), "--isolated", "--no-error"]) == 0
+    assert "REP003" in capsys.readouterr().out
+
+
+def test_json_format(tmp_path, capsys):
+    path = _write(tmp_path, "dirty.py", DIRTY)
+    assert main([str(path), "--isolated", "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["checked_files"] == 1
+    assert payload["suppressed"] == 0
+    [finding] = payload["findings"]
+    assert finding["rule"] == "REP003"
+    assert finding["line"] == 3
+
+
+def test_explain_prints_rationale(capsys):
+    assert main(["--explain", "REP004"]) == 0
+    out = capsys.readouterr().out
+    assert "REP004" in out and "Violation:" in out and "Fix:" in out
+
+
+def test_explain_unknown_rule_is_usage_error(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--explain", "REP999"])
+    assert excinfo.value.code == 2
+
+
+def test_list_rules(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule in RULES:
+        assert rule.id in out
+
+
+def test_no_paths_is_usage_error():
+    with pytest.raises(SystemExit) as excinfo:
+        main([])
+    assert excinfo.value.code == 2
+
+
+def test_missing_path_is_usage_error(tmp_path):
+    with pytest.raises(SystemExit) as excinfo:
+        main([str(tmp_path / "does-not-exist.py")])
+    assert excinfo.value.code == 2
+
+
+def test_config_flag_scopes_rules(tmp_path, capsys):
+    pyproject = _write(
+        tmp_path,
+        "pyproject.toml",
+        '[tool.repro-lint]\n[tool.repro-lint.per-rule-paths]\nREP003 = ["runtime"]\n',
+    )
+    outside = _write(tmp_path, "tool.py", DIRTY)
+    assert main([str(outside), "--config", str(pyproject)]) == 0
+    capsys.readouterr()
+    # --isolated ignores the same config and the finding comes back.
+    assert main([str(outside), "--config", str(pyproject), "--isolated"]) == 1
+
+
+def test_malformed_config_is_usage_error(tmp_path):
+    pyproject = _write(tmp_path, "pyproject.toml", "[tool.repro-lint]\nbogus = 1\n")
+    target = _write(tmp_path, "clean.py", CLEAN)
+    with pytest.raises(SystemExit) as excinfo:
+        main([str(target), "--config", str(pyproject)])
+    assert excinfo.value.code == 2
+
+
+def test_in_tree_sources_are_clean_under_repo_config(capsys):
+    """The acceptance gate: ``repro-lint src/repro`` exits 0 on this tree.
+
+    Uses the repo's own pyproject (path scoping included), exactly as CI
+    invokes it — an in-tree regression of any rule fails here first.
+    """
+    src = REPO_ROOT / "src" / "repro"
+    exit_code = main([str(src), "--config", str(REPO_ROOT / "pyproject.toml")])
+    out = capsys.readouterr().out
+    assert exit_code == 0, f"repro-lint found in-tree violations:\n{out}"
+    assert "0 finding(s)" in out

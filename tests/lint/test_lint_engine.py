@@ -1,0 +1,159 @@
+"""Engine behavior: pragmas, malformed input, config scoping, determinism."""
+
+import pytest
+
+from repro.lint import LintConfig, lint_paths, lint_source
+from repro.lint.config import LintConfigError, load_config
+from repro.lint.pragmas import (
+    MALFORMED_PRAGMA_ID,
+    format_pragma,
+    parse_pragma_comment,
+    parse_pragmas,
+)
+
+WALLCLOCK = "import time\n\npayload = {'at': time.time()}\n"
+
+
+# --------------------------------------------------------------------- pragmas
+def test_same_line_pragma_suppresses():
+    source = (
+        "import time\n\n"
+        "at = time.time()  # repro-lint: disable=REP003 -- ingest metadata\n"
+    )
+    report = lint_source(source)
+    assert not report.findings
+    assert report.suppressed == 1
+
+
+def test_pragma_on_adjacent_line_does_not_suppress():
+    source = (
+        "import time\n\n"
+        "# repro-lint: disable=REP003 -- wrong line, pragmas are line-exact\n"
+        "at = time.time()\n"
+    )
+    report = lint_source(source)
+    assert [f.rule_id for f in report.findings] == ["REP003"]
+    assert report.suppressed == 0
+
+
+def test_pragma_for_other_rule_does_not_suppress():
+    source = (
+        "import time\n\n"
+        "at = time.time()  # repro-lint: disable=REP001 -- mismatched rule\n"
+    )
+    report = lint_source(source)
+    assert [f.rule_id for f in report.findings] == ["REP003"]
+
+
+def test_pragma_without_reason_is_a_finding_and_does_not_suppress():
+    source = "import time\n\nat = time.time()  # repro-lint: disable=REP003\n"
+    report = lint_source(source)
+    rule_ids = sorted(f.rule_id for f in report.findings)
+    assert rule_ids == [MALFORMED_PRAGMA_ID, "REP003"]
+    assert report.suppressed == 0
+
+
+def test_pragma_with_bad_rule_id_is_a_finding():
+    source = "x = 1  # repro-lint: disable=REP3 -- typo'd id\n"
+    report = lint_source(source)
+    assert [f.rule_id for f in report.findings] == [MALFORMED_PRAGMA_ID]
+    assert "REP3" in report.findings[0].message
+
+
+def test_pragma_syntax_inside_string_is_ignored():
+    source = 'doc = "# repro-lint: disable=BOGUS"\n'
+    report = lint_source(source)
+    assert not report.findings
+
+
+def test_multi_rule_pragma_suppresses_both():
+    source = (
+        "import glob\n"
+        "import time\n\n"
+        "rows = [(p, time.time()) for p in glob.glob('*')]"
+        "  # repro-lint: disable=REP002,REP003 -- demo\n"
+    )
+    report = lint_source(source)
+    assert not report.findings
+    assert report.suppressed == 2
+
+
+def test_format_pragma_round_trips_through_parser():
+    ids, reason, problem = parse_pragma_comment(
+        format_pragma(["REP001", "REP005"], "because reasons")
+    )
+    assert ids == ["REP001", "REP005"]
+    assert reason == "because reasons"
+    assert problem is None
+
+
+def test_parse_pragmas_keys_by_line():
+    source = "x = 1\ny = 2  # repro-lint: disable=REP001 -- demo\n"
+    pragmas, malformed = parse_pragmas(source)
+    assert list(pragmas) == [2]
+    assert pragmas[2].rule_ids == ("REP001",)
+    assert not malformed
+
+
+# ------------------------------------------------------------- malformed input
+def test_syntax_error_becomes_finding():
+    report = lint_source("def broken(:\n")
+    assert [f.rule_id for f in report.findings] == [MALFORMED_PRAGMA_ID]
+    assert "does not parse" in report.findings[0].message
+
+
+# ------------------------------------------------------------- config scoping
+def test_isolated_config_applies_every_rule(tmp_path):
+    path = tmp_path / "anywhere.py"
+    path.write_text(WALLCLOCK, encoding="utf8")
+    report = lint_paths([path], config=LintConfig())
+    assert [f.rule_id for f in report.findings] == ["REP003"]
+
+
+def test_per_rule_paths_scope_rule_to_configured_tree(tmp_path):
+    (tmp_path / "runtime").mkdir()
+    inside = tmp_path / "runtime" / "store.py"
+    outside = tmp_path / "tool.py"
+    inside.write_text(WALLCLOCK, encoding="utf8")
+    outside.write_text(WALLCLOCK, encoding="utf8")
+    config = LintConfig(root=tmp_path, per_rule_paths={"REP003": ("runtime",)})
+    report = lint_paths([inside, outside], config=config)
+    assert [f.path for f in report.findings] == [str(inside)]
+
+
+def test_load_config_reads_pyproject(tmp_path):
+    pyproject = tmp_path / "pyproject.toml"
+    pyproject.write_text(
+        '[tool.repro-lint]\ninclude = ["src"]\n'
+        '[tool.repro-lint.per-rule-paths]\nREP003 = ["src/runtime"]\n',
+        encoding="utf8",
+    )
+    config = load_config(pyproject)
+    assert config.per_rule_paths == {"REP003": ("src/runtime",)}
+    assert config.rule_applies("REP003", tmp_path / "src" / "runtime" / "x.py")
+    assert not config.rule_applies("REP003", tmp_path / "src" / "other.py")
+    # Unscoped rules always apply.
+    assert config.rule_applies("REP001", tmp_path / "src" / "other.py")
+
+
+def test_load_config_rejects_unknown_keys(tmp_path):
+    pyproject = tmp_path / "pyproject.toml"
+    pyproject.write_text("[tool.repro-lint]\nbogus = 1\n", encoding="utf8")
+    with pytest.raises(LintConfigError):
+        load_config(pyproject)
+
+
+def test_missing_pyproject_is_permissive(tmp_path):
+    config = load_config(tmp_path / "nope.toml")
+    assert config.rule_applies("REP003", tmp_path / "anything.py")
+
+
+# --------------------------------------------------------------- determinism
+def test_report_order_is_deterministic(tmp_path):
+    b = tmp_path / "b.py"
+    a = tmp_path / "a.py"
+    for path in (b, a):
+        path.write_text(WALLCLOCK, encoding="utf8")
+    report = lint_paths([tmp_path])
+    assert [f.path for f in report.findings] == [str(a), str(b)]
+    assert report.checked_files == 2

@@ -1,0 +1,97 @@
+"""Every rule, demonstrated against the fixture corpus.
+
+Each rule has a ``repNNN_bad.py`` fixture (≥1 true positive per pattern the
+rule claims to catch) and a ``repNNN_good.py`` near-miss fixture (the same
+shapes written correctly, which must produce zero findings).  The corpus is
+linted with an isolated :class:`~repro.lint.config.LintConfig` so the
+pyproject path scoping cannot mask a rule regression.
+
+The REP004 and REP005 bad fixtures are seeded regressions: they reproduce
+the PR 3 bug (absolute ``cache_dir`` path digested into a fingerprint
+token) and the PR 5 bug (blocking stderr read on the asyncio event loop)
+in miniature, so the rules that exist because of those bugs provably still
+catch them.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint import LintConfig, lint_paths, rule_by_id
+from repro.lint.rules import RULES
+
+FIXTURES = Path(__file__).parent / "fixtures"
+RULE_IDS = [rule.id for rule in RULES]
+
+# Minimum true-positive count per bad fixture: every distinct pattern the
+# fixture exercises must be flagged at least once.
+EXPECTED_BAD_MINIMUM = {
+    "REP001": 5,  # randint, standard_normal, shuffle, choice, argless default_rng
+    "REP002": 4,  # os.listdir, glob.glob, set(...) loop, .glob comprehension
+    "REP003": 3,  # time.time, datetime.now, date.today
+    "REP004": 4,  # repr(cache_dir), .resolve(), abspath, f-string of pathlike
+    "REP005": 4,  # read_text, bare .wait(), time.sleep, subprocess.run
+    "REP006": 4,  # nested fn, lambda, partial(nested), nested group runner
+}
+
+
+def _lint_fixture(name: str):
+    path = FIXTURES / name
+    assert path.exists(), f"fixture corpus is missing {name}"
+    return lint_paths([path], config=LintConfig())
+
+
+@pytest.mark.parametrize("rule_id", RULE_IDS)
+def test_bad_fixture_is_flagged(rule_id):
+    """The bad fixture yields at least the expected true positives."""
+    report = _lint_fixture(f"{rule_id.lower()}_bad.py")
+    hits = [f for f in report.findings if f.rule_id == rule_id]
+    assert len(hits) >= EXPECTED_BAD_MINIMUM[rule_id], (
+        f"{rule_id} found only {len(hits)} of >= "
+        f"{EXPECTED_BAD_MINIMUM[rule_id]} expected violations: {hits}"
+    )
+
+
+@pytest.mark.parametrize("rule_id", RULE_IDS)
+def test_bad_fixture_has_no_foreign_noise(rule_id):
+    """A bad fixture only trips its own rule (plus none of REP000)."""
+    report = _lint_fixture(f"{rule_id.lower()}_bad.py")
+    foreign = [f for f in report.findings if f.rule_id != rule_id]
+    assert not foreign, f"unexpected cross-rule findings: {foreign}"
+
+
+@pytest.mark.parametrize("rule_id", RULE_IDS)
+def test_good_fixture_is_clean(rule_id):
+    """The near-miss fixture produces zero findings from any rule."""
+    report = _lint_fixture(f"{rule_id.lower()}_good.py")
+    assert not report.findings, (
+        f"near-miss fixture for {rule_id} was flagged: {report.findings}"
+    )
+
+
+def test_rep004_bad_reproduces_pr3_bug_class():
+    """The seeded PR 3 regression (path in fingerprint_token) is caught."""
+    report = _lint_fixture("rep004_bad.py")
+    lines = {f.line for f in report.findings if f.rule_id == "REP004"}
+    source = (FIXTURES / "rep004_bad.py").read_text(encoding="utf8").splitlines()
+    flagged = "\n".join(source[line - 1] for line in sorted(lines))
+    assert "repr(self.cache_dir)" in flagged, flagged
+
+
+def test_rep005_bad_reproduces_pr5_bug_class():
+    """The seeded PR 5 regression (blocking read in async def) is caught."""
+    report = _lint_fixture("rep005_bad.py")
+    lines = {f.line for f in report.findings if f.rule_id == "REP005"}
+    source = (FIXTURES / "rep005_bad.py").read_text(encoding="utf8").splitlines()
+    flagged = "\n".join(source[line - 1] for line in sorted(lines))
+    assert "read_text()" in flagged, flagged
+
+
+def test_registry_is_complete_and_explainable():
+    """Six rules, stable ids, and every rule explains itself fully."""
+    assert RULE_IDS == [f"REP00{i}" for i in range(1, 7)]
+    for rule_id in RULE_IDS:
+        text = rule_by_id(rule_id).explain()
+        assert rule_id in text
+        # Worked examples are part of the rule contract (--explain output).
+        assert "Violation:" in text and "Fix:" in text

@@ -1,0 +1,82 @@
+"""Property tests for the repro-lint pragma layer.
+
+Two contracts:
+
+* ``format_pragma`` / ``parse_pragma_comment`` are exact inverses for every
+  well-formed rule-id list and reason — a pragma the tooling writes is always
+  a pragma the tooling honours;
+* suppression is **line-exact**: a pragma on line N suppresses precisely the
+  findings anchored at line N, never a neighbour's.
+"""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.lint import lint_source
+from repro.lint.pragmas import format_pragma, parse_pragma_comment
+
+# Well-formed rule ids: three ASCII uppercase letters + three digits.
+RULE_IDS = st.from_regex(r"[A-Z]{3}[0-9]{3}", fullmatch=True)
+RULE_ID_LISTS = st.lists(RULE_IDS, min_size=1, max_size=6, unique=True)
+# Reasons: printable, no newlines (comments are single-line), and no "--"
+# (the pragma's own reason separator), non-empty once stripped.
+REASONS = (
+    st.text(
+        alphabet=st.characters(min_codepoint=32, max_codepoint=126, exclude_characters="#"),
+        min_size=1,
+        max_size=60,
+    )
+    .map(str.strip)
+    .filter(lambda s: s and "--" not in s and "," not in s)
+)
+
+
+@given(rule_ids=RULE_ID_LISTS, reason=REASONS)
+def test_format_pragma_parse_round_trip(rule_ids, reason):
+    """Any formatted pragma parses back to the same ids and reason."""
+    parsed = parse_pragma_comment(format_pragma(rule_ids, reason))
+    assert parsed is not None
+    ids, parsed_reason, problem = parsed
+    assert problem is None
+    assert ids == rule_ids
+    assert parsed_reason == reason
+
+
+@given(rule_ids=RULE_ID_LISTS, reason=REASONS)
+def test_round_trip_through_full_source_scan(rule_ids, reason):
+    """The engine-level scanner agrees with the single-comment parser."""
+    from repro.lint.pragmas import parse_pragmas
+
+    source = f"x = 1  {format_pragma(rule_ids, reason)}\n"
+    pragmas, malformed = parse_pragmas(source)
+    assert not malformed
+    assert list(pragmas) == [1]
+    assert pragmas[1].rule_ids == tuple(rule_ids)
+    assert pragmas[1].reason == reason
+
+
+@given(
+    pragma_line=st.integers(min_value=0, max_value=9),
+    reason=REASONS,
+)
+def test_suppression_is_line_exact(pragma_line, reason):
+    """A pragma on line N suppresses exactly line N's finding.
+
+    Builds ten lines that each trip REP003, puts one pragma on an arbitrary
+    line, and checks the suppressed finding is precisely that line's — every
+    other line still reports.
+    """
+    lines = ["import time", ""]
+    offending_lines = []
+    for index in range(10):
+        line = f"value_{index} = time.time()"
+        if index == pragma_line:
+            line += f"  {format_pragma(['REP003'], reason)}"
+        offending_lines.append(len(lines) + 1)
+        lines.append(line)
+    report = lint_source("\n".join(lines) + "\n")
+
+    expected = [n for i, n in enumerate(offending_lines) if i != pragma_line]
+    assert [f.line for f in report.findings] == expected
+    assert all(f.rule_id == "REP003" for f in report.findings)
+    assert report.suppressed == 1

@@ -1,11 +1,13 @@
 """Docstring coverage for the public API of the gated packages.
 
 CI enforces ruff's D1 (pydocstyle undocumented-*) rules for
-``src/repro/runtime/``, ``src/repro/envs/`` and ``src/repro/rl/`` (see
+``src/repro/runtime/``, ``src/repro/envs/``, ``src/repro/rl/``,
+``src/repro/faults/`` and ``src/repro/federated/`` (see
 ``[tool.ruff.lint]`` in pyproject.toml); this test mirrors that contract
 with a plain ``ast`` walk so the guarantee also holds in environments where
-ruff is not installed — docstring coverage of the scaling API and the
-vectorized hot path cannot regress in either place.
+ruff is not installed — docstring coverage of the scaling API, the
+vectorized hot path, and the paper's fault-injection/federated domain
+layers cannot regress in either place.
 """
 
 import ast
@@ -14,7 +16,7 @@ from pathlib import Path
 import pytest
 
 SRC_ROOT = Path(__file__).resolve().parents[2] / "src" / "repro"
-GATED_PACKAGES = ("runtime", "envs", "rl")
+GATED_PACKAGES = ("runtime", "envs", "rl", "faults", "federated")
 GATED_MODULES = sorted(
     path for package in GATED_PACKAGES for path in (SRC_ROOT / package).glob("*.py")
 )
@@ -52,9 +54,10 @@ def test_every_public_gated_symbol_has_a_docstring(module_path):
     missing = _missing_docstrings(tree)
     assert not missing, (
         f"{module_path.relative_to(SRC_ROOT.parents[1])} has undocumented "
-        f"public symbols: {missing} — the gated packages (runtime, envs, rl) "
-        "are the public scaling API and the vectorized hot path; document "
-        "them (ruff's D1 rules enforce the same in CI)"
+        f"public symbols: {missing} — the gated packages (runtime, envs, rl, "
+        "faults, federated) are the public scaling API, the vectorized hot "
+        "path, and the paper's domain layers; document them (ruff's D1 rules "
+        "enforce the same in CI)"
     )
 
 
