@@ -48,6 +48,16 @@ _LAZY_EXPORTS = {
     "ShardRunReport": "repro.runtime.sharding",
     "ShardSpec": "repro.runtime.sharding",
     "load_shard_outputs": "repro.runtime.sharding",
+    "Campaign": "repro.runtime.service",
+    "CampaignService": "repro.runtime.service",
+    "CampaignSpec": "repro.runtime.service",
+    "ServiceError": "repro.runtime.service",
+    "QuotaQueue": "repro.runtime.service_queue",
+    "ServiceDispatcher": "repro.runtime.service_queue",
+    "ServiceAPI": "repro.runtime.service_api",
+    "ServiceClient": "repro.runtime.service_api",
+    "ServiceClientError": "repro.runtime.service_api",
+    "wait_for_socket": "repro.runtime.service_api",
 }
 
 __all__ = [

@@ -24,6 +24,13 @@ Examples::
     repro-campaign ingest /shared/journals
     repro-campaign query slice fig6a --by ber --journal-dir /shared/journals
 
+    # Resident campaign service: one daemon multiplexes many concurrent
+    # campaigns (priorities, per-tenant quotas) over one backend roster:
+    repro-campaign serve --journal-dir /shared/journals --backend local:4
+    repro-campaign submit fig6a --journal-dir /shared/journals --label nightly
+    repro-campaign tail nightly --journal-dir /shared/journals
+    repro-campaign cancel nightly --journal-dir /shared/journals
+
 Replicate seeds are derived with ``numpy.random.SeedSequence.spawn`` (see
 :func:`repro.runtime.cells.derive_cell_seeds`), so adding replicates never
 perturbs existing ones.
@@ -82,9 +89,19 @@ examples:
   repro-campaign query cells fig6a --store /shared/journals/store.sqlite
   repro-campaign query slice fig6a --by ber --format json --store /shared/journals/store.sqlite
 
+  # resident campaign service (daemon + thin clients over a unix socket)
+  repro-campaign serve --journal-dir /shared/journals --backend local:4 \\
+      --quota alice=2 --resume
+  repro-campaign submit fig6a --journal-dir /shared/journals \\
+      --label nightly --tenant alice --priority 5 --shards 2
+  repro-campaign status --journal-dir /shared/journals
+  repro-campaign tail nightly --journal-dir /shared/journals
+  repro-campaign cancel nightly --journal-dir /shared/journals
+
 `repro-campaign orchestrate --help` documents the orchestrator's own options;
 `repro-campaign ingest --help` and `repro-campaign query --help` document the
-result store (schemas in docs/RESULTS.md).
+result store (schemas in docs/RESULTS.md); `repro-campaign serve --help`
+documents the resident campaign service.
 """
 
 
@@ -102,7 +119,8 @@ def build_parser() -> argparse.ArgumentParser:
         "experiments",
         nargs="*",
         help="artifact identifiers (fig3a ... fig9, table1), 'all', or a "
-        "subcommand: orchestrate, ingest, query",
+        "subcommand: orchestrate, ingest, query, serve, submit, status, "
+        "tail, cancel",
     )
     parser.add_argument("--list", action="store_true", help="list runnable artifacts and exit")
     parser.add_argument(
@@ -545,6 +563,450 @@ def _run_canned_query(parser, store, args):
     )
 
 
+_SERVE_EPILOG = """\
+examples:
+  # daemonize a shared roster: 4 local shard slots + a Slurm partition, with
+  # per-tenant concurrency quotas and crash-safe re-adoption of campaigns
+  # that were in flight when the previous daemon died:
+  repro-campaign serve --journal-dir /shared/journals \\
+      --backend local:4 --backend slurm:16 \\
+      --quota alice=2 --quota bob=2 --default-quota 4 --resume
+
+  # print the resolved roster and quota table, bind nothing:
+  repro-campaign serve --journal-dir /shared/journals --backend local:2 --dry-run
+
+Submissions journal into <journal-dir>/<label>/ and the merged payload lands
+there as <artifact>.json/.txt — byte-identical to a one-shot run of the same
+artifact.  The daemon's own submission/state journal is
+<journal-dir>/service.campaigns.jsonl (records documented in docs/RESULTS.md).
+"""
+
+
+def build_serve_parser() -> argparse.ArgumentParser:
+    """The argparse parser for the ``serve`` subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="repro-campaign serve",
+        description="Run the resident campaign service: accept campaign "
+        "submissions over a Unix socket, multiplex them over one shared "
+        "backend roster through a priority queue with per-tenant quotas, "
+        "stream live progress, and survive restarts via the journal store.",
+        epilog=_SERVE_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument(
+        "--journal-dir",
+        type=Path,
+        required=True,
+        help="shared journal store: per-campaign journals, merged payloads, "
+        "and the service's own submission/state journal live here",
+    )
+    parser.add_argument(
+        "--socket",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="Unix socket to listen on (default: <journal-dir>/service.sock)",
+    )
+    parser.add_argument(
+        "--backend",
+        action="append",
+        dest="backends",
+        default=None,
+        metavar="NAME[:SLOTS][,KEY=VALUE...]",
+        help="shared execution backend roster, repeatable (same spellings as "
+        "orchestrate --backend; default: one unbounded local backend)",
+    )
+    parser.add_argument(
+        "--quota",
+        action="append",
+        dest="quotas",
+        default=None,
+        metavar="TENANT=N",
+        help="cap TENANT at N concurrently running shard attempts, repeatable",
+    )
+    parser.add_argument(
+        "--default-quota",
+        type=int,
+        default=None,
+        metavar="N",
+        help="concurrency cap for tenants without an explicit --quota "
+        "(default: unbounded)",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=sorted(_SCALE_PRESETS),
+        default="fast",
+        help="default workload scale for submissions that do not name one "
+        "(default: fast)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        help="policy cache directory shared by planning and all shards",
+    )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        metavar="R",
+        help="per-shard retry budget for every campaign (default: 2)",
+    )
+    parser.add_argument(
+        "--stall-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="kill and retry a shard whose journal shows no new cell for this "
+        "many seconds (default: disabled)",
+    )
+    parser.add_argument(
+        "--poll-interval",
+        type=float,
+        default=0.5,
+        metavar="SECONDS",
+        help="journal poll / progress stream interval (default: 0.5)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="re-adopt campaigns that were submitted but unfinished when the "
+        "previous daemon stopped; their orchestrators resume from the shard "
+        "journals, recomputing no completed cell",
+    )
+    parser.add_argument(
+        "--inject-kill-shard",
+        type=int,
+        default=None,
+        metavar="K",
+        help="chaos-testing hook forwarded to every campaign: SIGKILL shard "
+        "K's first attempt once it has journaled a cell",
+    )
+    parser.add_argument(
+        "--ingest",
+        action="store_true",
+        help="after each merge, ingest the campaign's journals into "
+        "<journal-dir>/store.sqlite (the queryable result store)",
+    )
+    parser.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="print the resolved roster and quota table, then exit without "
+        "binding the socket or starting anything",
+    )
+    return parser
+
+
+def _add_client_socket_arguments(parser: argparse.ArgumentParser) -> None:
+    """The two ways every client command can name the daemon's socket."""
+    parser.add_argument(
+        "--socket",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="the daemon's Unix socket",
+    )
+    parser.add_argument(
+        "--journal-dir",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="shorthand for --socket DIR/service.sock",
+    )
+
+
+def build_submit_parser() -> argparse.ArgumentParser:
+    """The argparse parser for the ``submit`` subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="repro-campaign submit",
+        description="Submit one campaign to a running campaign service "
+        "(see 'repro-campaign serve').  Returns immediately with the "
+        "campaign id; follow progress with 'repro-campaign tail LABEL'.",
+    )
+    parser.add_argument("experiment", help="artifact identifier to run (e.g. fig6a)")
+    _add_client_socket_arguments(parser)
+    parser.add_argument(
+        "--label",
+        default=None,
+        help="campaign label, also its journal subdirectory name "
+        "(default: the artifact id); a label already in flight is refused",
+    )
+    parser.add_argument("--tenant", default="default", help="tenant the quota applies to")
+    parser.add_argument(
+        "--priority",
+        type=int,
+        default=0,
+        help="dispatch priority (higher dispatches first; default: 0)",
+    )
+    parser.add_argument(
+        "--shards", type=int, default=2, metavar="N", help="shard count (default: 2)"
+    )
+    parser.add_argument(
+        "--scale",
+        choices=sorted(_SCALE_PRESETS),
+        default=None,
+        help="workload scale (default: the daemon's --scale)",
+    )
+    parser.add_argument("--seed", type=int, default=None, help="root seed for the campaign")
+    parser.add_argument(
+        "--workers-per-shard",
+        type=int,
+        default=1,
+        metavar="M",
+        help="process-pool size inside each shard (default: 1)",
+    )
+    parser.add_argument(
+        "--batch-cells",
+        type=int,
+        default=1,
+        metavar="B",
+        help="forwarded to each shard: group up to B cells per pool submission",
+    )
+    parser.add_argument(
+        "--vectorize",
+        choices=("auto", "on", "off"),
+        default="auto",
+        help="forwarded to each shard (default: auto)",
+    )
+    return parser
+
+
+def build_status_parser() -> argparse.ArgumentParser:
+    """The argparse parser for the ``status`` subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="repro-campaign status",
+        description="Show a running campaign service's campaigns (no "
+        "argument), or one campaign's full status (by label or id).",
+    )
+    parser.add_argument(
+        "target", nargs="?", default=None, help="campaign label or id (optional)"
+    )
+    _add_client_socket_arguments(parser)
+    return parser
+
+
+def build_tail_parser() -> argparse.ArgumentParser:
+    """The argparse parser for the ``tail`` subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="repro-campaign tail",
+        description="Stream one campaign's live per-shard progress from a "
+        "running campaign service as NDJSON, until it reaches a terminal "
+        "state.  Exit code 0 iff the campaign merged.",
+    )
+    parser.add_argument("target", help="campaign label or id")
+    _add_client_socket_arguments(parser)
+    return parser
+
+
+def build_cancel_parser() -> argparse.ArgumentParser:
+    """The argparse parser for the ``cancel`` subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="repro-campaign cancel",
+        description="Cancel an in-flight campaign: the daemon group-kills "
+        "its running shard attempts and journals the cancellation (the shard "
+        "journals keep every completed cell for a later resume).",
+    )
+    parser.add_argument("target", help="campaign label or id")
+    _add_client_socket_arguments(parser)
+    return parser
+
+
+def _resolve_client_socket(parser: argparse.ArgumentParser, args) -> Path:
+    """The daemon socket a client command should talk to."""
+    if args.socket is not None:
+        return args.socket
+    if args.journal_dir is not None:
+        return args.journal_dir / "service.sock"
+    parser.error("give --socket PATH or --journal-dir DIR")
+
+
+def _parse_quotas(parser: argparse.ArgumentParser, texts) -> dict:
+    """Parse repeated ``--quota TENANT=N`` options."""
+    quotas = {}
+    for text in texts or []:
+        tenant, separator, value = str(text).partition("=")
+        if not separator or not tenant.strip() or not value.strip():
+            parser.error(f"--quota must be TENANT=N, got {text!r}")
+        try:
+            quotas[tenant.strip()] = int(value)
+        except ValueError:
+            parser.error(f"--quota {text!r}: N must be an integer")
+    return quotas
+
+
+def _serve_main(argv: Sequence[str]) -> int:
+    """Entry point for ``repro-campaign serve ...``."""
+    import asyncio
+
+    from repro.runtime.backends import BackendError, build_backends
+    from repro.runtime.service import CampaignService, ServiceError
+    from repro.runtime.service_api import ServiceAPI
+
+    parser = build_serve_parser()
+    args = parser.parse_args(argv)
+    if args.max_retries < 0:
+        parser.error("--max-retries must be >= 0")
+    if args.poll_interval <= 0:
+        parser.error("--poll-interval must be > 0")
+    if args.stall_timeout is not None and args.stall_timeout <= 0:
+        parser.error("--stall-timeout must be > 0")
+    if args.default_quota is not None and args.default_quota < 1:
+        parser.error("--default-quota must be >= 1")
+    if args.inject_kill_shard is not None and args.inject_kill_shard < 1:
+        parser.error("--inject-kill-shard must be >= 1")
+    quotas = _parse_quotas(parser, args.quotas)
+    if any(quota < 1 for quota in quotas.values()):
+        parser.error("--quota caps must be >= 1")
+    try:
+        backends = build_backends(args.backends or ["local"])
+    except BackendError as error:
+        parser.error(f"invalid --backend: {error}")
+    socket_path = args.socket if args.socket is not None else args.journal_dir / "service.sock"
+    try:
+        service = CampaignService(
+            args.journal_dir,
+            backends=backends,
+            quotas=quotas,
+            default_quota=args.default_quota,
+            scale=args.scale,
+            cache_dir=args.cache_dir,
+            max_retries=args.max_retries,
+            stall_timeout=args.stall_timeout,
+            poll_interval=args.poll_interval,
+            resume=args.resume,
+            inject_kill_shard=args.inject_kill_shard,
+            ingest_on_completion=args.ingest,
+            on_event=lambda message: print(f"[serve] {message}", flush=True),
+        )
+    except ServiceError as error:
+        parser.error(str(error))
+    if args.dry_run:
+        print(f"campaign service (dry run)\nsocket: {socket_path}", flush=True)
+        print(service.render_dry_run(), flush=True)
+        return 0
+
+    async def _serve() -> int:
+        await service.start()
+        api = ServiceAPI(service, socket_path)
+        await api.start()
+        print(f"[serve] listening on {socket_path}", flush=True)
+        try:
+            await api.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await api.close()
+            await service.close()
+        return 0
+
+    try:
+        return asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("[serve] stopped", flush=True)
+        return 0
+
+
+def _client_main(argv: Sequence[str], parser_builder, handler) -> int:
+    """Shared driver for the thin client commands (connect, call, render)."""
+    from repro.runtime.service_api import ServiceClient, ServiceClientError
+
+    parser = parser_builder()
+    args = parser.parse_args(argv)
+    client = ServiceClient(_resolve_client_socket(parser, args))
+    try:
+        return handler(client, args)
+    except ServiceClientError as error:
+        print(f"[{parser.prog.split()[-1]}] FAILED — {error}", file=sys.stderr, flush=True)
+        return 1
+    except (ConnectionError, OSError, TimeoutError) as error:
+        print(f"[{parser.prog.split()[-1]}] FAILED — {error}", file=sys.stderr, flush=True)
+        return 1
+
+
+def _submit_main(argv: Sequence[str]) -> int:
+    """Entry point for ``repro-campaign submit ...``."""
+
+    def handler(client, args) -> int:
+        payload = {
+            "experiment_id": args.experiment,
+            "label": args.label or args.experiment,
+            "tenant": args.tenant,
+            "priority": args.priority,
+            "shards": args.shards,
+            "scale": args.scale,
+            "seed": args.seed,
+            "workers_per_shard": args.workers_per_shard,
+            "batch_cells": args.batch_cells,
+            "vectorize": args.vectorize,
+        }
+        status = client.submit(payload)
+        print(
+            f"[submit] {status['id']} {status['label']}: {status['state']} "
+            f"(tenant {status['tenant']}, priority {status['priority']})",
+            flush=True,
+        )
+        return 0
+
+    return _client_main(argv, build_submit_parser, handler)
+
+
+def _status_main(argv: Sequence[str]) -> int:
+    """Entry point for ``repro-campaign status ...``."""
+    import json as json_module
+
+    def handler(client, args) -> int:
+        if args.target is None:
+            campaigns = client.campaigns()
+            if not campaigns:
+                print("[status] no campaigns", flush=True)
+                return 0
+            for status in campaigns:
+                shards = status.get("shards") or {}
+                cells = sum(shards.values())
+                print(
+                    f"{status['id']}  {status['label']:20s} {status['state']:10s} "
+                    f"tenant={status['tenant']} priority={status['priority']} "
+                    f"cells={cells}",
+                    flush=True,
+                )
+            return 0
+        print(json_module.dumps(client.status(args.target), indent=2, sort_keys=True), flush=True)
+        return 0
+
+    return _client_main(argv, build_status_parser, handler)
+
+
+def _tail_main(argv: Sequence[str]) -> int:
+    """Entry point for ``repro-campaign tail ...``."""
+    import json as json_module
+
+    def handler(client, args) -> int:
+        final_state = None
+        for event in client.tail(args.target):
+            print(json_module.dumps(event, sort_keys=True), flush=True)
+            if event.get("event") == "state":
+                final_state = event.get("state")
+        return 0 if final_state == "merged" else 1
+
+    return _client_main(argv, build_tail_parser, handler)
+
+
+def _cancel_main(argv: Sequence[str]) -> int:
+    """Entry point for ``repro-campaign cancel ...``."""
+
+    def handler(client, args) -> int:
+        status = client.cancel(args.target)
+        shards = status.get("shards") or {}
+        print(
+            f"[cancel] {status['id']} {status['label']}: {status['state']} — "
+            f"{sum(shards.values())} journaled cell(s) kept for a future resume",
+            flush=True,
+        )
+        return 0
+
+    return _client_main(argv, build_cancel_parser, handler)
+
+
 def _shard_forwarded_args(args, include_workers: bool = True) -> list:
     """The CLI arguments every shard subprocess inherits from orchestrate.
 
@@ -718,6 +1180,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _ingest_main(arguments[1:])
     if arguments[:1] == ["query"]:
         return _query_main(arguments[1:])
+    if arguments[:1] == ["serve"]:
+        return _serve_main(arguments[1:])
+    if arguments[:1] == ["submit"]:
+        return _submit_main(arguments[1:])
+    if arguments[:1] == ["status"]:
+        return _status_main(arguments[1:])
+    if arguments[:1] == ["tail"]:
+        return _tail_main(arguments[1:])
+    if arguments[:1] == ["cancel"]:
+        return _cancel_main(arguments[1:])
     parser = build_parser()
     args = parser.parse_args(arguments)
 

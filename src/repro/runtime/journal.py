@@ -153,6 +153,10 @@ class JournalProgress:
         self.path = Path(path)
         self._offset = 0
         self._count = 0
+        #: Cumulative bytes this prober has read off disk, across every
+        #: :meth:`poll`.  Regression tests assert it stays O(new bytes) —
+        #: file size plus rescans — never O(polls × file size).
+        self.bytes_read = 0
 
     def poll(self) -> int:
         """The number of completed-cell records in the journal right now."""
@@ -171,6 +175,7 @@ class JournalProgress:
         with self.path.open("rb") as handle:
             handle.seek(self._offset)
             chunk = handle.read()
+        self.bytes_read += len(chunk)
         terminated = chunk.rfind(b"\n")
         if terminated == -1:
             return self._count

@@ -260,6 +260,18 @@ class ShardOrchestrator:
         attempt command.
     on_event:
         Callback receiving human-readable progress lines (``None`` = silent).
+    scheduler:
+        An injected scheduler replacing the orchestrator's own
+        :class:`~repro.runtime.scheduler.BackendScheduler`.  The campaign
+        service passes a per-campaign view of its *shared* dispatcher here,
+        so many concurrent orchestrations draw from one roster under one
+        priority/quota policy; the roster is then read off
+        ``scheduler.backends`` and ``backends`` must not also be given.
+    prepare_backends:
+        Whether :meth:`run_async` runs ``backend.prepare`` before launching
+        (default).  The campaign service prepares its shared roster once at
+        startup and passes ``False``, so every submitted campaign does not
+        re-run SSH preflights or re-create scratch directories.
     """
 
     def __init__(
@@ -278,6 +290,8 @@ class ShardOrchestrator:
         command_factory: Optional[CommandFactory] = None,
         on_event: Optional[Callable[[str], None]] = None,
         python_executable: Optional[str] = None,
+        scheduler: Optional[BackendScheduler] = None,
+        prepare_backends: bool = True,
     ) -> None:
         if shard_count < 1:
             raise ValueError(f"shard count must be >= 1, got {shard_count}")
@@ -292,11 +306,19 @@ class ShardOrchestrator:
                 "orchestration requires a journal directory: construct the "
                 "CampaignRunner with journal_dir (CLI: --journal-dir or --output)"
             )
+        if scheduler is not None and backends is not None:
+            raise ValueError(
+                "give either backends or an injected scheduler, not both: an "
+                "injected scheduler brings its own roster (scheduler.backends)"
+            )
         self.experiment_id = experiment_id
         self.shard_count = int(shard_count)
         self.runner = runner
         self.journal_dir = runner.journal_dir
-        self.backends: List[ExecutionBackend] = list(backends or [LocalProcessBackend()])
+        if scheduler is not None:
+            self.backends: List[ExecutionBackend] = list(scheduler.backends)
+        else:
+            self.backends = list(backends or [LocalProcessBackend()])
         self._plan = plan
         self.shard_args = list(shard_args)
         self.max_retries = int(max_retries)
@@ -306,7 +328,8 @@ class ShardOrchestrator:
         self.command_factory = command_factory
         self.on_event = on_event
         self.python_executable = python_executable or sys.executable
-        self.scheduler = BackendScheduler(self.backends)
+        self.scheduler = scheduler if scheduler is not None else BackendScheduler(self.backends)
+        self.prepare_backends = bool(prepare_backends)
 
     # ------------------------------------------------------------------- plan
     @property
@@ -423,9 +446,11 @@ class ShardOrchestrator:
         """
         # Backend preparation (scratch dirs, the SSH connection preflight)
         # happens here rather than in __init__ so a --dry-run stays offline
-        # and a dead host is reported as an orchestration failure.
-        for backend in self.backends:
-            backend.prepare(self.journal_dir)
+        # and a dead host is reported as an orchestration failure.  A shared
+        # roster (injected scheduler) is prepared once by its owner instead.
+        if self.prepare_backends:
+            for backend in self.backends:
+                backend.prepare(self.journal_dir)
         plan = self.plan
         if plan.cell_count <= 1:
             raise OrchestratorError(
@@ -487,6 +512,11 @@ class ShardOrchestrator:
     async def _drive_shard(self, spec: ShardSpec) -> ShardOutcome:
         """Run one shard to success or retry exhaustion, failing over backends."""
         journal_path = spec.journal_path(self.journal_dir, self.experiment_id)
+        # One incremental prober per *shard*, shared by all of its attempts:
+        # a retry's polls then parse only the bytes its predecessor had not
+        # seen, instead of re-reading the whole journal from offset zero on
+        # every attempt (O(new bytes) total, however many retries happen).
+        progress = JournalProgress(journal_path)
         outcome = ShardOutcome(
             shard=spec,
             assigned_cells=len(spec.cell_indices(self.plan.cell_count)),
@@ -505,7 +535,7 @@ class ShardOrchestrator:
                 )
             backend = await self.scheduler.acquire(avoid=failed_backend)
             try:
-                attempt = await self._attempt(spec, number, journal_path, resume, backend)
+                attempt = await self._attempt(spec, number, progress, resume, backend)
             finally:
                 await self.scheduler.release(backend)
             outcome.attempts.append(attempt)
@@ -536,18 +566,22 @@ class ShardOrchestrator:
         self,
         spec: ShardSpec,
         number: int,
-        journal_path: Path,
+        progress: JournalProgress,
         resume: bool,
         backend: ExecutionBackend,
     ) -> ShardAttempt:
-        """One attempt: launch on ``backend``, tail the journal, decide the outcome."""
+        """One attempt: launch on ``backend``, tail the journal, decide the outcome.
+
+        ``progress`` is the shard's long-lived :class:`JournalProgress`
+        prober — owned by :meth:`_drive_shard` and shared across attempts,
+        so repeated polling costs O(new bytes), not O(file size) per poll.
+        """
         command = self.shard_command(spec, number, resume, backend)
         self._emit(
             f"shard {spec.describe()}: attempt {number} starting on {backend.name} — "
             + " ".join(shlex.quote(part) for part in command)
         )
         started = time.monotonic()
-        progress = JournalProgress(journal_path)
         try:
             launch = await backend.launch(command, env=self._subprocess_env())
         except Exception as error:

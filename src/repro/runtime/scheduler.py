@@ -98,10 +98,34 @@ class BackendScheduler:
     async def release(self, backend: ExecutionBackend) -> None:
         """Return a slot taken by :meth:`acquire` and wake queued acquirers."""
         async with self._condition:
-            if self._in_use[id(backend)] < 1:
-                raise RuntimeError(f"release without acquire for backend {backend.name!r}")
-            self._in_use[id(backend)] -= 1
+            self.release_nowait(backend)
             self._condition.notify_all()
+
+    # -------------------------------------------------- external-lock variants
+    def try_acquire(self, *, avoid: Optional[ExecutionBackend] = None) -> Optional[ExecutionBackend]:
+        """Take a slot synchronously if one is free; ``None`` when saturated.
+
+        For callers that serialize slot decisions under their *own* lock —
+        the campaign service's dispatcher holds one condition over this
+        scheduler and its admission queue so grant order is deterministic.
+        Pair with :meth:`release_nowait`; such callers must do their own
+        waking, because no scheduler-side condition round-trip happens here.
+        """
+        backend = self._pick(avoid)
+        if backend is not None:
+            self._in_use[id(backend)] += 1
+        return backend
+
+    def release_nowait(self, backend: ExecutionBackend) -> None:
+        """Synchronous slot return: accounting only, wakes no queued acquirer.
+
+        :meth:`release` (which notifies coroutines queued in :meth:`acquire`)
+        delegates here; external-lock callers pair it with
+        :meth:`try_acquire` and notify their own waiters.
+        """
+        if self._in_use[id(backend)] < 1:
+            raise RuntimeError(f"release without acquire for backend {backend.name!r}")
+        self._in_use[id(backend)] -= 1
 
     # ----------------------------------------------------------------- dry run
     def plan_assignments(self, count: int) -> List[ExecutionBackend]:

@@ -375,3 +375,72 @@ class TestStoreSubcommands:
         )
         assert main(["ingest", str(tmp_path)]) == 1
         assert "mixed plan fingerprints" in _error_text(capsys)
+
+
+class TestServeValidation:
+    def test_dry_run_prints_roster_and_quotas_binding_nothing(self, capsys, tmp_path):
+        journal_dir = tmp_path / "journals"
+        exit_code = main(
+            [
+                "serve",
+                "--journal-dir", str(journal_dir),
+                "--backend", "local:2",
+                "--backend", "local:1",
+                "--quota", "alice=2",
+                "--default-quota", "4",
+                "--dry-run",
+            ]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "campaign service (dry run)" in out
+        assert "local[slots=2], local#2[slots=1]" in out
+        assert "total slots: 3" in out
+        assert "alice" in out and "*" in out
+        assert "dry run: nothing started" in out
+        # Truly offline: no socket bound, no journal store touched.
+        assert not journal_dir.exists()
+
+    def test_dry_run_default_socket_under_journal_dir(self, capsys, tmp_path):
+        assert main(["serve", "--journal-dir", str(tmp_path), "--dry-run"]) == 0
+        assert f"socket: {tmp_path / 'service.sock'}" in capsys.readouterr().out
+
+    @pytest.mark.parametrize(
+        "extra,message",
+        [
+            (["--quota", "alice"], "--quota must be TENANT=N"),
+            (["--quota", "=3"], "--quota must be TENANT=N"),
+            (["--quota", "alice=lots"], "N must be an integer"),
+            (["--quota", "alice=0"], "--quota caps must be >= 1"),
+            (["--default-quota", "0"], "--default-quota must be >= 1"),
+            (["--max-retries", "-1"], "--max-retries must be >= 0"),
+            (["--poll-interval", "0"], "--poll-interval must be > 0"),
+            (["--stall-timeout", "0"], "--stall-timeout must be > 0"),
+            (["--inject-kill-shard", "0"], "--inject-kill-shard must be >= 1"),
+            (["--backend", "warp:1"], "invalid --backend"),
+        ],
+    )
+    def test_bad_serve_arguments_rejected(self, capsys, tmp_path, extra, message):
+        with pytest.raises(SystemExit):
+            main(["serve", "--journal-dir", str(tmp_path), "--dry-run"] + extra)
+        assert message in _error_text(capsys)
+
+
+class TestClientSocketResolution:
+    @pytest.mark.parametrize("command", [["status"], ["tail", "x"], ["cancel", "x"], ["submit", "fig6a"]])
+    def test_client_commands_need_a_socket_or_journal_dir(self, capsys, command):
+        with pytest.raises(SystemExit):
+            main(command)
+        assert "give --socket PATH or --journal-dir DIR" in _error_text(capsys)
+
+    def test_journal_dir_shorthand_resolves_and_unreachable_daemon_fails_cleanly(
+        self, capsys, tmp_path
+    ):
+        assert main(["status", "--journal-dir", str(tmp_path)]) == 1
+        err = _error_text(capsys)
+        assert "[status] FAILED" in err
+        assert str(tmp_path / "service.sock") in err
+
+    def test_unreachable_socket_is_an_error_not_a_crash(self, capsys, tmp_path):
+        assert main(["cancel", "ghost", "--socket", str(tmp_path / "nope.sock")]) == 1
+        assert "[cancel] FAILED" in _error_text(capsys)

@@ -383,6 +383,43 @@ class TestProgressProbes:
                 handle.write(self._cell_line(index))
             assert progress.poll() == count_completed_cells(path) == index + 1
 
+    def test_probe_cost_is_linear_in_new_bytes_not_polls(self, tmp_path):
+        """The regression guard for every journal-tailing loop (orchestrator
+        shard driving, service progress/status/stream): polling N times over
+        a growing file must read each byte once — O(new bytes) total — not
+        re-read the whole file per poll (O(polls x file size))."""
+        path = tmp_path / "x.jsonl"
+        progress = JournalProgress(path)
+        path.write_text(json.dumps({"kind": "header"}) + "\n")
+        polls = 40
+        for index in range(polls):
+            with path.open("a") as handle:
+                handle.write(self._cell_line(index))
+            # Poll several times per append: idle polls see no new bytes and
+            # must therefore read (essentially) nothing.
+            for _ in range(3):
+                progress.poll()
+        total_size = path.stat().st_size
+        # Every byte read exactly once.  An O(polls x size) prober would have
+        # read ~60x more (3 polls x 40 appends over an ever-growing file).
+        assert progress.bytes_read == total_size
+
+    def test_probe_bytes_read_accounts_rescans_after_truncation(self, tmp_path):
+        """Shrink-by-rescan is the one case a byte may be read twice — and
+        only the surviving bytes, once more."""
+        path = tmp_path / "x.jsonl"
+        progress = JournalProgress(path)
+        path.write_text(
+            json.dumps({"kind": "header"}) + "\n"
+            + self._cell_line(0) + self._cell_line(1) + self._cell_line(2)
+        )
+        assert progress.poll() == 3
+        first_size = path.stat().st_size
+        assert progress.bytes_read == first_size
+        path.write_text(json.dumps({"kind": "header"}) + "\n" + self._cell_line(0))
+        assert progress.poll() == 1
+        assert progress.bytes_read == first_size + path.stat().st_size
+
 
 class TestResume:
     @pytest.mark.parametrize("workers,batch_size", [(1, 1), (2, 1), (2, 3)])

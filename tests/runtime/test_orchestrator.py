@@ -32,6 +32,7 @@ from repro.runtime.orchestrator import (
     render_slurm_script,
 )
 from repro.runtime.runner import CampaignRunner
+from repro.runtime.scheduler import BackendScheduler
 
 FAKE_SLURM = Path(__file__).resolve().parents[2] / "tools" / "fake_slurm"
 
@@ -425,6 +426,79 @@ class TestGuards:
             ShardOrchestrator("orch", 0, runner)
         with pytest.raises(ValueError, match="retries"):
             ShardOrchestrator("orch", 2, runner, max_retries=-1)
+
+
+class TestInjectedScheduler:
+    """The orchestrator as a library client of an external scheduler (the
+    campaign service's seam): roster comes from the scheduler, backend
+    preparation is the owner's job, and journal probing stays one prober
+    per shard however many attempts happen."""
+
+    def test_backends_and_scheduler_are_mutually_exclusive(self, tmp_path):
+        runner = CampaignRunner(journal_dir=tmp_path)
+        scheduler = BackendScheduler([LocalProcessBackend()])
+        with pytest.raises(ValueError, match="not both"):
+            ShardOrchestrator(
+                "orch", 2, runner, backends=[LocalProcessBackend()], scheduler=scheduler
+            )
+
+    def test_injected_scheduler_supplies_the_roster(self, tmp_path):
+        runner = CampaignRunner(journal_dir=tmp_path)
+        roster = [LocalProcessBackend(slots=1), LocalProcessBackend(slots=2)]
+        orchestrator = ShardOrchestrator(
+            "orch", 2, runner, scheduler=BackendScheduler(roster)
+        )
+        assert orchestrator.backends == roster
+        assert orchestrator.scheduler.backends == roster
+
+    def test_prepare_backends_false_skips_preparation(
+        self, tmp_path, worker_script, monkeypatch
+    ):
+        prepared = []
+
+        class Recording(LocalProcessBackend):
+            def prepare(self, journal_dir):
+                prepared.append(journal_dir)
+
+        shared = BackendScheduler([Recording()])
+        orchestrator = _orchestrator(
+            tmp_path, worker_script, scheduler=shared, prepare_backends=False
+        )
+        report = orchestrator.run()
+        assert report.merged
+        assert prepared == []  # the scheduler's owner prepared it already
+
+        # The default (owning the roster) still prepares per run.
+        own = _orchestrator(tmp_path / "own", worker_script, backends=[Recording()])
+        own.run()
+        assert prepared == [own.journal_dir]
+
+    def test_one_journal_prober_per_shard_across_retries(
+        self, tmp_path, worker_script, monkeypatch
+    ):
+        """Satellite regression: retries must reuse the shard's incremental
+        prober (O(new bytes) total) instead of constructing a fresh one —
+        which would re-read the whole journal from offset zero — per
+        attempt."""
+        constructed = []
+        real = orchestrator_module.JournalProgress
+
+        def counting(path):
+            constructed.append(Path(path).name)
+            return real(path)
+
+        monkeypatch.setattr(orchestrator_module, "JournalProgress", counting)
+        monkeypatch.setenv("ORCH_TEST_CRASH_SHARD", "1")
+        monkeypatch.setenv("ORCH_TEST_CRASH_MARKER", str(tmp_path / "crashed.marker"))
+        orchestrator = _orchestrator(tmp_path, worker_script, max_retries=2)
+        report = orchestrator.run()
+
+        assert report.merged
+        assert len(report.outcomes[0].attempts) == 2  # the kill forced a retry
+        # Exactly one prober per shard, not one per attempt.
+        assert sorted(constructed) == sorted(
+            spec.journal_name("orch") for spec in orchestrator.shard_specs()
+        )
 
 
 class TestClusterTemplates:

@@ -1,0 +1,189 @@
+"""Unit tests for the service admission layer (QuotaQueue + ServiceDispatcher).
+
+The queue's contract is *determinism*: given the same submission/grant/release
+sequence it always dispatches in (priority desc, submission order), skipping —
+never blocking on — tenants at quota.  The dispatcher fuses that rule with
+backend slot accounting under one condition variable, so these tests also pin
+the concurrency behaviour: who wakes when a slot frees, and that cancellation
+never wedges the queue.  The randomized counterpart lives in
+``tests/properties/test_property_service_queue.py``.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.runtime.backends import LocalProcessBackend
+from repro.runtime.scheduler import BackendScheduler
+from repro.runtime.service_queue import QuotaError, QuotaQueue, ServiceDispatcher
+
+
+class TestQuotaQueue:
+    def test_priority_then_submission_order(self):
+        queue = QuotaQueue()
+        low = queue.submit("t", 0)
+        high_first = queue.submit("t", 5)
+        high_second = queue.submit("t", 5)
+
+        assert queue.grantable() is high_first
+        queue.grant(high_first)
+        assert queue.grantable() is high_second
+        queue.grant(high_second)
+        assert queue.grantable() is low
+
+    def test_quota_blocked_tenant_is_skipped_not_blocking(self):
+        queue = QuotaQueue({"a": 1})
+        a_first = queue.submit("a", 10)
+        a_second = queue.submit("a", 10)
+        b_only = queue.submit("b", 0)
+
+        assert queue.grantable() is a_first
+        queue.grant(a_first)
+        # "a" is at quota: its second (higher-priority) ticket is skipped and
+        # the lower-priority tenant "b" dispatches instead of deadlocking.
+        assert queue.grantable() is b_only
+        queue.grant(b_only)
+        assert queue.grantable() is None
+
+        queue.release("a")
+        assert queue.grantable() is a_second
+
+    def test_default_quota_applies_to_unlisted_tenants(self):
+        queue = QuotaQueue({"vip": 2}, default_quota=1)
+        assert queue.quota("vip") == 2
+        assert queue.quota("anyone") == 1
+
+        first = queue.submit("anyone", 0)
+        second = queue.submit("anyone", 0)
+        queue.grant(first)
+        assert queue.grantable() is None
+        queue.release("anyone")
+        assert queue.grantable() is second
+
+    def test_invalid_quotas_rejected(self):
+        with pytest.raises(QuotaError):
+            QuotaQueue({"a": 0})
+        with pytest.raises(QuotaError):
+            QuotaQueue(default_quota=0)
+        with pytest.raises(QuotaError):
+            QuotaQueue().submit("")
+
+    def test_release_without_grant_raises(self):
+        queue = QuotaQueue()
+        with pytest.raises(QuotaError):
+            queue.release("ghost")
+
+    def test_grant_requires_pending_ticket_and_headroom(self):
+        queue = QuotaQueue({"a": 1})
+        ticket = queue.submit("a", 0)
+        queue.grant(ticket)
+        with pytest.raises(QuotaError):
+            queue.grant(ticket)  # no longer pending
+        second = queue.submit("a", 0)
+        with pytest.raises(QuotaError):
+            queue.grant(second)  # tenant at quota
+
+    def test_withdraw_is_idempotent_and_removes_from_dispatch(self):
+        queue = QuotaQueue()
+        doomed = queue.submit("a", 9)
+        survivor = queue.submit("b", 0)
+        queue.withdraw(doomed)
+        queue.withdraw(doomed)
+        assert queue.grantable() is survivor
+
+    def test_describe_quotas_rows(self):
+        queue = QuotaQueue({"alice": 2}, default_quota=4)
+        ticket = queue.submit("bob", 0)
+        queue.grant(ticket)
+        rows = queue.describe_quotas()
+        assert ("*", "4", 0) in rows
+        assert ("alice", "2", 0) in rows
+        assert ("bob", "4", 1) in rows
+
+
+def _dispatcher(slots: int = 1, **kwargs) -> ServiceDispatcher:
+    scheduler = BackendScheduler([LocalProcessBackend(slots=slots)])
+    return ServiceDispatcher(scheduler, **kwargs)
+
+
+class TestServiceDispatcher:
+    def test_higher_priority_waiter_takes_the_freed_slot(self):
+        async def scenario():
+            dispatcher = _dispatcher(slots=1)
+            first = await dispatcher.acquire("a", 0, meta={"campaign": "first"})
+
+            order = []
+
+            async def worker(tag, tenant, priority):
+                backend = await dispatcher.acquire(tenant, priority, meta={"campaign": tag})
+                order.append(tag)
+                await dispatcher.release(tenant, backend)
+
+            low = asyncio.ensure_future(worker("low", "a", 0))
+            await asyncio.sleep(0.01)  # low queues first...
+            high = asyncio.ensure_future(worker("high", "b", 5))
+            await asyncio.sleep(0.01)  # ...then high arrives behind it
+            await dispatcher.release("a", first)
+            await asyncio.gather(low, high)
+
+            assert order == ["high", "low"]
+            assert [entry["campaign"] for entry in dispatcher.dispatch_log] == [
+                "first", "high", "low",
+            ]
+            assert all(entry["backend"] == "local" for entry in dispatcher.dispatch_log)
+
+        asyncio.run(scenario())
+
+    def test_quota_bounds_concurrent_grants_per_tenant(self):
+        async def scenario():
+            dispatcher = _dispatcher(slots=8, quotas={"a": 2})
+            running = 0
+            peak = 0
+
+            async def worker():
+                nonlocal running, peak
+                backend = await dispatcher.acquire("a", 0)
+                running += 1
+                peak = max(peak, running)
+                await asyncio.sleep(0.01)
+                running -= 1
+                await dispatcher.release("a", backend)
+
+            await asyncio.gather(*(worker() for _ in range(6)))
+            assert peak == 2
+            assert len(dispatcher.dispatch_log) == 6
+
+        asyncio.run(scenario())
+
+    def test_cancelled_acquire_withdraws_and_queue_drains(self):
+        async def scenario():
+            dispatcher = _dispatcher(slots=1)
+            held = await dispatcher.acquire("a", 0)
+
+            doomed = asyncio.ensure_future(dispatcher.acquire("b", 9))
+            await asyncio.sleep(0.01)
+            doomed.cancel()
+            await asyncio.gather(doomed, return_exceptions=True)
+
+            waiter = asyncio.ensure_future(dispatcher.acquire("c", 0))
+            await asyncio.sleep(0.01)
+            await dispatcher.release("a", held)
+            backend = await asyncio.wait_for(waiter, timeout=5)
+            await dispatcher.release("c", backend)
+            assert [entry["tenant"] for entry in dispatcher.dispatch_log] == ["a", "c"]
+
+        asyncio.run(scenario())
+
+    def test_has_headroom_consults_quota_and_slots(self):
+        async def scenario():
+            dispatcher = _dispatcher(slots=2, quotas={"a": 1})
+            assert dispatcher.has_headroom("a")
+            backend = await dispatcher.acquire("a", 0)
+            assert not dispatcher.has_headroom("a")  # quota, not slots
+            assert dispatcher.has_headroom("b")
+            other = await dispatcher.acquire("b", 0)
+            assert not dispatcher.has_headroom("b")  # slots this time
+            await dispatcher.release("a", backend)
+            await dispatcher.release("b", other)
+
+        asyncio.run(scenario())
